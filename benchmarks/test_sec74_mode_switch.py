@@ -1,0 +1,89 @@
+"""Section 7.4: mode switch time.
+
+"The average time is about 0.22 ms to do a switch from native mode to
+virtual mode, and 0.06 ms to a switch back. ... Mercury has to recalculate
+the type and count information for all page frames during a mode switch,
+which accounts for the major time to commit a switch."
+
+The measurement protocol mirrors the paper: RDTSC at the beginning and end
+of each switch, averaged over repeated switches, on a machine with a
+realistic process population.
+"""
+
+import pytest
+
+from repro import Machine, Mercury
+from repro.core.accounting import AccountingStrategy
+from repro.core.switch import Direction
+
+#: an idle-2006-Linux-like process population
+PROCESSES = 42
+SWITCHES = 5
+
+
+def _populated_mercury(bench_config, num_cpus=1,
+                       strategy=AccountingStrategy.RECOMPUTE):
+    machine = Machine(bench_config.with_cpus(num_cpus))
+    mercury = Mercury(machine, strategy=strategy)
+    kernel = mercury.create_kernel(image_pages=384)
+    cpu = machine.boot_cpu
+    for _ in range(PROCESSES - 1):
+        kernel.syscall(cpu, "fork")
+    return mercury
+
+
+def _measure(mercury, switches=SWITCHES):
+    for _ in range(switches):
+        mercury.attach()
+        mercury.detach()
+    return (mercury.mean_switch_us(Direction.TO_VIRTUAL),
+            mercury.mean_switch_us(Direction.TO_NATIVE))
+
+
+def test_sec74_mode_switch_time(benchmark, bench_config):
+    mercury = _populated_mercury(bench_config)
+    to_virtual, to_native = benchmark.pedantic(
+        lambda: _measure(mercury), iterations=1, rounds=1)
+
+    from repro.bench.report import format_switch_times
+    print()
+    print(format_switch_times(to_virtual, to_native))
+
+    # paper: ~0.22 ms and ~0.06 ms; both sub-millisecond, attach dominated
+    # by the page-info recompute
+    assert 0.08 < to_virtual / 1000.0 < 0.50, \
+        f"native->virtual {to_virtual/1000:.3f} ms out of band"
+    assert 0.02 < to_native / 1000.0 < 0.15, \
+        f"virtual->native {to_native/1000:.3f} ms out of band"
+    assert to_virtual > 2.0 * to_native, \
+        "attach must cost several times detach (recompute dominance)"
+
+    benchmark.extra_info["to_virtual_ms"] = round(to_virtual / 1000, 4)
+    benchmark.extra_info["to_native_ms"] = round(to_native / 1000, 4)
+
+
+def test_sec74_attach_scales_with_pt_pages(bench_config):
+    """The stated mechanism: switch time tracks the page-table population
+    (more processes -> more PT pages -> longer recompute)."""
+    small = Machine(bench_config)
+    mc_small = Mercury(small)
+    k = mc_small.create_kernel(image_pages=384)
+    rec_small = mc_small.attach()
+    mc_small.detach()
+
+    mc_big = _populated_mercury(bench_config)
+    rec_big = mc_big.attach()
+    mc_big.detach()
+
+    assert rec_big.pt_pages > rec_small.pt_pages
+    assert rec_big.cycles > rec_small.cycles
+
+
+def test_sec74_switch_time_is_stable_across_repeats(bench_config):
+    mercury = _populated_mercury(bench_config)
+    cycles = []
+    for _ in range(4):
+        rec = mercury.attach()
+        cycles.append(rec.cycles)
+        mercury.detach()
+    assert max(cycles) - min(cycles) <= 0.05 * max(cycles)

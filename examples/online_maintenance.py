@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Online hardware maintenance (§6.3): replace a machine's hardware while
+its OS (and applications) keep running elsewhere.
+
+Flow: the primary self-virtualizes to full-virtual mode, live-migrates its
+execution environment to a standby already in partial-virtual mode, the
+operator services the idle hardware, the environment migrates back, and
+the primary returns to native mode for full speed.
+
+Run:  python examples/online_maintenance.py
+"""
+
+from repro import Machine, Mercury, MachineConfig
+from repro.scenarios.maintenance import MaintenanceWindow
+
+import dataclasses
+
+
+def main() -> None:
+    config = dataclasses.replace(MachineConfig(), mem_kb=262_144)
+
+    primary = Mercury(Machine(config, name="rack-a-07"))
+    kernel = primary.create_kernel(name="production-linux", image_pages=128)
+    cpu = primary.machine.boot_cpu
+
+    standby_machine = Machine(config, clock=primary.machine.clock,
+                              name="rack-a-08")
+    standby = Mercury(standby_machine)
+    standby.create_kernel(name="standby-linux", image_pages=64)
+    primary.machine.link_to(standby_machine)
+
+    # a long-running application with durable state
+    fd = kernel.syscall(cpu, "open", "/srv/orders.db", True)
+    for i in range(8):
+        kernel.syscall(cpu, "write", fd, f"order-{i}", 4096)
+    kernel.syscall(cpu, "fsync", fd)
+    workers = [kernel.syscall(cpu, "fork") for _ in range(4)]
+    print(f"production workload: {len(workers)} workers, "
+          f"orders.db = {kernel.syscall(cpu, 'stat', '/srv/orders.db')}")
+
+    def replace_dimms() -> None:
+        # the machine is idle: the operator takes 90 simulated seconds
+        print("  [operator] primary is idle — swapping DIMMs...")
+        primary.machine.clock.advance(90 * 3_000_000_000)
+        print("  [operator] hardware maintenance complete")
+
+    print("\nstarting maintenance window (migrate away → fix → migrate back)")
+    report = MaintenanceWindow(primary, standby).perform(replace_dimms)
+
+    print(f"\nmaintenance window : {report.maintenance_cycles / 3e9:8.2f} s")
+    print(f"outbound migration : {report.outbound.total_ms():8.2f} ms "
+          f"(downtime {report.outbound.downtime_ms():.3f} ms)")
+    print(f"inbound migration  : {report.inbound.total_ms():8.2f} ms "
+          f"(downtime {report.inbound.downtime_ms():.3f} ms)")
+    print(f"app-visible pause  : {report.disruption_ms():8.3f} ms total")
+    print(f"mode afterwards    : {primary.mode.value} (full speed)")
+
+    # the workload state survived the round trip
+    k = primary.kernel
+    assert k.fs.exists("/srv/orders.db")
+    st = k.syscall(primary.machine.boot_cpu, "stat", "/srv/orders.db")
+    print(f"orders.db after    : {st}")
+    print(f"workers after      : "
+          f"{len([t for t in k.procs.live_tasks()]) - 1}")
+
+
+if __name__ == "__main__":
+    main()

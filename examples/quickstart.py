@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: self-virtualize a running OS.
+
+Builds a simulated machine, boots a Linux-like kernel under Mercury, runs
+some work in native mode, attaches the pre-cached VMM underneath the
+*running* OS, keeps working, and detaches again — the paper's core
+demonstration, in ~40 lines of user code.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Machine, Mercury, paper_config
+
+def main() -> None:
+    # the paper's testbed: 3 GHz CPU, 900 000 KB of memory (§7.1)
+    machine = Machine(paper_config(num_cpus=1))
+    mercury = Mercury(machine)              # pre-caches the VMM at boot
+    kernel = mercury.create_kernel(name="mercury-linux")
+    cpu = machine.boot_cpu
+
+    print(f"booted {kernel.name!r}; mode = {mercury.mode.value}")
+    print(f"pre-cached VMM reserves {mercury.precache_info.reserved_kb} KB")
+
+    # ---- work in native mode: full speed, no VMM in the way -------------
+    fd = kernel.syscall(cpu, "open", "/var/data", True)
+    kernel.syscall(cpu, "write", fd, "written-native", 4096)
+    pid = kernel.syscall(cpu, "fork")
+    kernel.run_and_reap(cpu, kernel.procs.get(pid))
+    print("native-mode work done (fork + file I/O)")
+
+    # ---- attach the VMM underneath the running OS -----------------------
+    record = mercury.attach()
+    print(f"attached VMM in {record.us():.1f} µs "
+          f"({record.pt_pages} page-table pages validated); "
+          f"mode = {mercury.mode.value}")
+
+    # applications are undisturbed: same files, same processes, new work
+    kernel.syscall(cpu, "write", fd, "written-virtual", 4096)
+    pid = kernel.syscall(cpu, "fork")
+    kernel.run_and_reap(cpu, kernel.procs.get(pid))
+    print("virtual-mode work done — the OS now runs de-privileged on Xen")
+
+    # the attached VMM is full-fledged: host an unmodified guest on top
+    guest = mercury.host_guest(name="domU")
+    gfd = guest.syscall(cpu, "open", "/guest-file", True)
+    guest.syscall(cpu, "write", gfd, "from-the-guest", 4096)
+    guest.syscall(cpu, "fsync", gfd)
+    print(f"hosted guest {guest.name!r} doing split-driver I/O")
+    mercury.shutdown_guest(guest)
+
+    # ---- detach: back to bare hardware, full speed -----------------------
+    record = mercury.detach()
+    print(f"detached VMM in {record.us():.1f} µs; mode = {mercury.mode.value}")
+
+    kernel.syscall(cpu, "lseek", fd, 0)
+    blocks = kernel.syscall(cpu, "read", fd, 2 * 4096)
+    print(f"file contents after the round trip: {blocks}")
+    print(f"total mode switches: {len(mercury.switch_records)}")
+
+
+if __name__ == "__main__":
+    main()

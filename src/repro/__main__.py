@@ -1,0 +1,91 @@
+"""Command-line reproduction harness: ``python -m repro <target>``.
+
+Targets:
+
+- ``table1`` / ``table2`` — the lmbench tables (UP / SMP)
+- ``fig3`` / ``fig4``     — the application-benchmark figures (UP / SMP)
+- ``switch``              — the §7.4 mode-switch measurement
+- ``all``                 — everything, in paper order
+
+Options: ``--quick`` (N-L and X-0 columns only), ``--mem-kb N``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+
+from repro import Machine, Mercury, MachineConfig
+from repro.bench.configs import CONFIG_KEYS
+from repro.bench.report import (format_lmbench_table, format_relative_figure,
+                                format_switch_times)
+from repro.bench.runner import (relative_to_native, run_app_suite,
+                                run_lmbench_suite)
+from repro.core.switch import Direction
+
+TARGETS = ("table1", "table2", "fig3", "fig4", "switch", "all")
+
+
+def _measure_switch(config) -> tuple[float, float]:
+    machine = Machine(config)
+    mercury = Mercury(machine)
+    kernel = mercury.create_kernel(image_pages=384)
+    cpu = machine.boot_cpu
+    for _ in range(41):
+        kernel.syscall(cpu, "fork")
+    for _ in range(5):
+        mercury.attach()
+        mercury.detach()
+    return (mercury.mean_switch_us(Direction.TO_VIRTUAL),
+            mercury.mean_switch_us(Direction.TO_NATIVE))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the Mercury paper's tables and figures.")
+    parser.add_argument("target", choices=TARGETS)
+    parser.add_argument("--quick", action="store_true",
+                        help="N-L and X-0 columns only")
+    parser.add_argument("--mem-kb", type=int, default=262_144,
+                        help="simulated memory per machine (default 262144)")
+    args = parser.parse_args(argv)
+
+    keys = ("N-L", "X-0") if args.quick else CONFIG_KEYS
+    config = dataclasses.replace(MachineConfig(), mem_kb=args.mem_kb)
+    want = (lambda t: args.target in (t, "all"))
+
+    if want("table1"):
+        t = run_lmbench_suite(num_cpus=1, config=config, keys=keys)
+        print(format_lmbench_table(
+            t, "Table 1. Lmbench latency results in uniprocessor mode",
+            keys=keys))
+        print()
+    if want("table2"):
+        t = run_lmbench_suite(num_cpus=2, config=config, keys=keys)
+        print(format_lmbench_table(
+            t, "Table 2. Lmbench latency results in SMP mode", keys=keys))
+        print()
+    if want("fig3"):
+        rel = relative_to_native(
+            run_app_suite(num_cpus=1, config=config, keys=keys))
+        print(format_relative_figure(
+            rel, "Fig. 3. Relative performance, uniprocessor mode",
+            keys=keys))
+        print()
+    if want("fig4"):
+        rel = relative_to_native(
+            run_app_suite(num_cpus=2, config=config, keys=keys))
+        print(format_relative_figure(
+            rel, "Fig. 4. Relative performance, SMP mode", keys=keys))
+        print()
+    if want("switch"):
+        to_v, to_n = _measure_switch(config)
+        print(format_switch_times(to_v, to_n))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""The evaluation harness (§7).
+
+:mod:`repro.bench.configs` builds the six systems the paper compares —
+N-L, M-N, X-0, M-V, X-U, M-U — as identical workload targets;
+:mod:`repro.bench.runner` runs workloads against them;
+:mod:`repro.bench.report` prints paper-style tables and relative-performance
+series.
+"""
+
+from repro.bench.configs import CONFIG_KEYS, SystemUnderTest, build_config
+from repro.bench.runner import run_app_suite, run_lmbench_suite
+
+__all__ = [
+    "CONFIG_KEYS",
+    "SystemUnderTest",
+    "build_config",
+    "run_app_suite",
+    "run_lmbench_suite",
+]

@@ -1,0 +1,23 @@
+"""Mercury — the paper's primary contribution.
+
+Self-virtualization lets a running OS attach a full-fledged VMM underneath
+itself and detach it again, on demand.  The pieces (paper section in
+parentheses):
+
+- :mod:`repro.core.vobject` — virtualization objects: function table + data
+  table, reference-counted on entry/exit (§4.2, §5.3).
+- :mod:`repro.core.native_vo` / :mod:`repro.core.virtual_vo` — the two VO
+  implementations: direct hardware access vs. hypercalls (§5.3).
+- :mod:`repro.core.precache` — pre-cached VMM warmed up at boot (§4.1).
+- :mod:`repro.core.transfer` — state-transfer functions (§5.1.2).
+- :mod:`repro.core.reload` — hardware state reloading (§5.1.3).
+- :mod:`repro.core.accounting` — page type/count strategies (§5.1.2).
+- :mod:`repro.core.switch` — the mode-switch engine (§5.1).
+- :mod:`repro.core.smp` — multicore IPI rendezvous (§5.4).
+- :mod:`repro.core.mercury` — the top-level controller (§4.4).
+"""
+
+from repro.core.mercury import Mercury, Mode
+from repro.core.vobject import VirtualizationObject
+
+__all__ = ["Mercury", "Mode", "VirtualizationObject"]

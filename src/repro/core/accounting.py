@@ -1,0 +1,80 @@
+"""Page type/count maintenance strategies — the §5.1.2 design choice.
+
+The VMM's page-info table goes stale the moment the VMM deactivates.  Two
+ways to have it correct again at the next attach:
+
+- **RECOMPUTE** (the paper's default): rebuild it during the switch by
+  re-validating every page-table page.  Free in native mode; costs the bulk
+  of the 0.22 ms native→virtual switch.
+- **ACTIVE**: keep it warm from native mode by shadowing every PT operation
+  with cheap bookkeeping (:class:`ActiveAccountant`, hooked into
+  :class:`~repro.core.native_vo.NativeVO`).  The paper measured this at
+  2–3% runtime overhead for only a small switch-time saving — the ablation
+  benchmark reproduces that trade-off.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.hw.cpu import Cpu
+    from repro.hw.paging import AddressSpace, Pte
+    from repro.vmm.page_info import PageInfoTable
+
+
+class AccountingStrategy(enum.Enum):
+    RECOMPUTE = "recompute"
+    ACTIVE = "active"
+
+
+class ActiveAccountant:
+    """Strategy 1: adapt the VMM's count information on every PT change
+    made from native mode."""
+
+    def __init__(self, page_info: "PageInfoTable"):
+        self.page_info = page_info
+        self.tracked_ops = 0
+
+    def _charge(self, cpu: "Cpu") -> None:
+        cpu.charge(cpu.cost.cyc_active_track_per_op)
+        self.tracked_ops += 1
+
+    # hooks called by NativeVO -------------------------------------------------
+
+    def on_set_pte(self, cpu: "Cpu", aspace: "AddressSpace", vaddr: int,
+                   pte: "Pte", old_pte: "Pte" = None) -> None:
+        self._charge(cpu)
+        if old_pte is not None:
+            self.page_info.track_clear_pte(old_pte)
+        leaf = aspace.leaf_for(vaddr)
+        if leaf is not None and not self.page_info.is_pt_frame(leaf.frame):
+            # a fresh leaf page-table page appeared under this write
+            self.page_info.track_new_pt_page(leaf.frame, level=1)
+        self.page_info.track_set_pte(pte, aspace.owner)
+
+    def on_clear_pte(self, cpu: "Cpu", aspace: "AddressSpace", vaddr: int,
+                     old_pte: "Pte") -> None:
+        self._charge(cpu)
+        self.page_info.track_clear_pte(old_pte)
+
+    def on_update_pte(self, cpu: "Cpu", aspace: "AddressSpace", vaddr: int,
+                      pte: "Pte") -> None:
+        # flag changes don't move frame references; counts are unaffected
+        self._charge(cpu)
+
+    def on_new_address_space(self, cpu: "Cpu", aspace: "AddressSpace") -> None:
+        self._charge(cpu)
+        self.page_info.track_new_pt_page(aspace.pgd.frame, level=2)
+        for leaf in aspace.pgd.entries.values():
+            if not self.page_info.is_pt_frame(leaf.frame):
+                self.page_info.track_new_pt_page(leaf.frame, level=1)
+
+    def on_destroy_address_space(self, cpu: "Cpu", aspace: "AddressSpace") -> None:
+        self._charge(cpu)
+        for leaf in aspace.pgd.entries.values():
+            for pte in leaf.entries.values():
+                self.page_info.track_clear_pte(pte)
+            self.page_info.track_drop_pt_page(leaf.frame)
+        self.page_info.track_drop_pt_page(aspace.pgd.frame)

@@ -1,0 +1,178 @@
+"""System-wide consistency invariants.
+
+The behaviour-consistency requirements of §4.3, expressed as executable
+checks over a whole Mercury stack.  ``check_all`` returns a list of
+violation descriptions (empty = consistent); the property tests run it
+after randomized workloads interleaved with mode switches, and the
+failure-resistant switch uses the related sensor suite.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.mercury import Mode
+from repro.guestos.process import TaskState
+
+if TYPE_CHECKING:
+    from repro.core.mercury import Mercury
+
+
+def check_mode_coherence(mercury: "Mercury") -> list[str]:
+    """Mode flag, installed VO, and VMM activation must agree."""
+    out = []
+    kernel = mercury.kernel
+    native = mercury.mode is Mode.NATIVE
+    if native and kernel.vo is not mercury.native_vo:
+        out.append("mode NATIVE but a non-native VO is installed")
+    if not native and mercury.virtual_vo is not None and \
+            kernel.vo is not mercury.virtual_vo:
+        out.append(f"mode {mercury.mode.value} but the virtual VO is not installed")
+    if native and mercury.vmm.active:
+        out.append("mode NATIVE but the VMM is active")
+    if not native and not mercury.vmm.active:
+        out.append(f"mode {mercury.mode.value} but the VMM is inactive")
+    dpl = kernel.vo.data.kernel_segment_dpl
+    if native and dpl != 0:
+        out.append(f"native mode with kernel segment DPL {dpl}")
+    if not native and dpl != 1:
+        out.append(f"virtual mode with kernel segment DPL {dpl}")
+    return out
+
+
+def check_vo_quiescent(mercury: "Mercury") -> list[str]:
+    """At rest (between operations) no CPU is inside sensitive code."""
+    if mercury.kernel.vo.busy():
+        return [f"VO refcount {mercury.kernel.vo.refcount} at rest"]
+    return []
+
+
+def check_frame_ownership(mercury: "Mercury") -> list[str]:
+    """Every frame mapped by any address space belongs to the kernel."""
+    out = []
+    kernel = mercury.kernel
+    mem = mercury.machine.memory
+    for aspace in kernel.aspaces:
+        for frame in aspace.mapped_frames():
+            if mem.owner_of(frame) != kernel.owner_id:
+                out.append(
+                    f"mapped frame {frame} owned by {mem.owner_of(frame)}, "
+                    f"not {kernel.owner_id}")
+    return out
+
+
+def check_frame_refcounts(mercury: "Mercury") -> list[str]:
+    """The COW share counters equal the actual PTE reference counts."""
+    out = []
+    kernel = mercury.kernel
+    actual: dict[int, int] = {}
+    for aspace in kernel.aspaces:
+        for frame in aspace.mapped_frames():
+            actual[frame] = actual.get(frame, 0) + 1
+    for frame, refs in kernel.vmem._frame_refs.items():
+        have = actual.get(frame, 0)
+        if refs != have:
+            out.append(f"frame {frame}: refcount {refs} but {have} mappings")
+    for frame, have in actual.items():
+        if frame not in kernel.vmem._frame_refs:
+            out.append(f"frame {frame}: {have} mappings but no refcount")
+    return out
+
+
+def check_scheduler(mercury: "Mercury") -> list[str]:
+    out = []
+    sched = mercury.kernel.scheduler
+    seen = set()
+    for task in sched.runqueue:
+        if task.pid in seen:
+            out.append(f"pid {task.pid} duplicated on the runqueue")
+        seen.add(task.pid)
+        if task.state == TaskState.ZOMBIE:
+            out.append(f"zombie pid {task.pid} on the runqueue")
+    if sched.current is not None and \
+            sched.current.state != TaskState.RUNNING:
+        out.append(f"current task {sched.current.pid} not RUNNING")
+    return out
+
+
+def check_pinning(mercury: "Mercury") -> list[str]:
+    """Direct mode: in virtual mode every live address space is pinned, in
+    native mode nothing is.  Shadow mode: nothing is ever pinned, but in
+    virtual mode every live address space has a coherent shadow."""
+    from repro.core.mercury import PagingMode
+
+    out = []
+    kernel = mercury.kernel
+    pinned = mercury.vmm.page_info.pinned
+    if mercury.paging is PagingMode.SHADOW:
+        if pinned:
+            out.append(f"{len(pinned)} pinned frames in shadow mode")
+        if mercury.mode is not Mode.NATIVE and mercury.pager is not None:
+            for aspace in kernel.aspaces:
+                if id(aspace) not in mercury.pager.shadows:
+                    out.append(f"PGD {aspace.pgd_frame} has no shadow")
+                elif not mercury.pager.verify_coherent(aspace):
+                    out.append(f"shadow of PGD {aspace.pgd_frame} incoherent")
+        return out
+    if mercury.mode is Mode.NATIVE:
+        for aspace in kernel.aspaces:
+            if aspace.pgd_frame in pinned:
+                out.append(f"PGD {aspace.pgd_frame} pinned in native mode")
+    else:
+        for aspace in kernel.aspaces:
+            if aspace.pgd_frame not in pinned:
+                out.append(f"PGD {aspace.pgd_frame} unpinned in virtual mode")
+    return out
+
+
+def check_tlb_coherence(mercury: "Mercury") -> list[str]:
+    """No CPU's TLB holds a translation that disagrees with the current
+    address space's page tables (stale entries after an invalidate/flush
+    would be silent memory corruption on real hardware)."""
+    out = []
+    kernel = mercury.kernel
+    current = kernel.scheduler.current
+    if current is None:
+        return out
+    aspace = current.aspace
+    from repro.params import PAGE_SIZE
+    for cpu in kernel.machine.cpus:
+        if cpu.cr3 != aspace.pgd_frame:
+            continue  # this CPU runs something else (or the VMM/shadow)
+        for vpn, (frame, writable) in list(cpu.tlb._entries.items()):
+            pte = aspace.get_pte(vpn * PAGE_SIZE)
+            if pte is None or not pte.present:
+                out.append(f"cpu{cpu.cpu_id}: stale TLB entry for vpn {vpn:#x}")
+            elif pte.frame != frame:
+                out.append(f"cpu{cpu.cpu_id}: TLB frame {frame} != PTE "
+                           f"frame {pte.frame} for vpn {vpn:#x}")
+            elif writable and not pte.writable:
+                out.append(f"cpu{cpu.cpu_id}: TLB grants write to "
+                           f"read-only vpn {vpn:#x}")
+    return out
+
+
+def check_filesystem(mercury: "Mercury") -> list[str]:
+    from repro.guestos.fs import BLOCK_SIZE
+    out = []
+    for path, inode in mercury.kernel.fs.inodes.items():
+        if inode.size > len(inode.blocks) * BLOCK_SIZE:
+            out.append(f"{path}: size {inode.size} exceeds "
+                       f"{len(inode.blocks)} blocks")
+        if inode.nlink < 1:
+            out.append(f"{path}: nlink {inode.nlink}")
+    return out
+
+
+ALL_CHECKS = (check_mode_coherence, check_vo_quiescent,
+              check_frame_ownership, check_frame_refcounts,
+              check_scheduler, check_pinning, check_tlb_coherence,
+              check_filesystem)
+
+
+def check_all(mercury: "Mercury") -> list[str]:
+    """Run every invariant; returns all violations found."""
+    out: list[str] = []
+    for check in ALL_CHECKS:
+        out.extend(check(mercury))
+    return out

@@ -1,0 +1,251 @@
+"""Mercury — the top-level self-virtualization controller (§4.4).
+
+One :class:`Mercury` instance per machine.  It owns the pre-cached VMM, the
+native/virtual VO pair, and the mode-switch engine, and it exposes the
+operations the usage scenarios (§6) are built from:
+
+- :meth:`attach` / :meth:`detach` — move the OS between native and
+  partial-virtual mode (VMM underneath, OS as driver domain);
+- :meth:`full_virtualize` / :meth:`departial` — prepare the OS for being
+  treated as a migratable guest (full-virtual mode);
+- :meth:`host_guest` — run an unmodified para-virtual guest OS on top of
+  the self-virtualized OS (the M-U configuration of §7).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.accounting import AccountingStrategy, ActiveAccountant
+from repro.core.native_vo import NativeVO
+from repro.core.precache import PrecacheInfo, precache_vmm
+from repro.core.switch import Direction, ModeSwitchEngine, SwitchRecord
+from repro.core.virtual_vo import VirtualVO
+from repro.errors import ModeSwitchError
+from repro.guestos.kernel import Kernel
+from repro.guestos.splitio import connect_split_block, connect_split_net
+
+if TYPE_CHECKING:
+    from repro.hw.cpu import Cpu
+    from repro.hw.machine import Machine
+    from repro.vmm.domain import Domain
+
+
+class Mode(enum.Enum):
+    """Execution modes of a self-virtualized OS (§6 terminology)."""
+
+    NATIVE = "native"
+    #: VMM attached; the OS is the driver domain and may host other guests
+    PARTIAL_VIRTUAL = "partial-virtual"
+    #: VMM attached and the OS prepared as a migratable guest
+    FULL_VIRTUAL = "full-virtual"
+
+
+class PagingMode(enum.Enum):
+    """Physical-address handling in virtual mode (§3.2.2).
+
+    DIRECT is the paper's choice: guest page tables are installed in the
+    MMU read-only after validation.  SHADOW is the alternative it avoided:
+    the VMM runs the hardware on translated copies — implemented here so
+    the design choice can be measured (ablation A4)."""
+
+    DIRECT = "direct"
+    SHADOW = "shadow"
+
+
+class Mercury:
+    """Self-virtualization support for one machine + kernel."""
+
+    def __init__(self, machine: "Machine",
+                 strategy: AccountingStrategy = AccountingStrategy.RECOMPUTE,
+                 paging: PagingMode = PagingMode.DIRECT,
+                 charge_boot_time: bool = False):
+        self.machine = machine
+        self.strategy = strategy
+        self.paging = paging
+        #: shadow pager (created on first attach when paging=SHADOW)
+        self.pager = None
+
+        # §4.1: warm the VMM up at boot and keep it resident
+        self.vmm, self.precache_info = precache_vmm(
+            machine, charge_boot_time=charge_boot_time)
+
+        accountant = None
+        if strategy is AccountingStrategy.ACTIVE:
+            accountant = ActiveAccountant(self.vmm.page_info)
+        self.accountant = accountant
+
+        self.native_vo = NativeVO(machine, accountant=accountant)
+        self.virtual_vo: Optional[VirtualVO] = None
+        self.kernel: Optional[Kernel] = None
+        self.domain: Optional["Domain"] = None
+        self.engine = ModeSwitchEngine(self)
+        self.mode = Mode.NATIVE
+        self._guests: list[Kernel] = []
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    def create_kernel(self, name: str = "mercury-linux", owner_id: int = 0,
+                      boot: bool = True, image_pages: int = 96) -> Kernel:
+        """Build the self-virtualizable kernel on this machine."""
+        if self.kernel is not None:
+            raise ModeSwitchError("Mercury already has a kernel")
+        self.kernel = Kernel(self.machine, self.native_vo, owner_id=owner_id,
+                             name=name)
+        if boot:
+            self.kernel.boot(image_pages=image_pages)
+        self.engine.install_handlers()
+        return self.kernel
+
+    def adopt_kernel(self, kernel: Kernel) -> None:
+        """Adopt an externally-built kernel (it must use our native VO)."""
+        if kernel.vo is not self.native_vo:
+            raise ModeSwitchError("adopted kernel must run on Mercury's native VO")
+        self.kernel = kernel
+        self.engine.install_handlers()
+
+    def ensure_domain(self) -> "Domain":
+        """The driver domain backing the self-virtualized OS (created on
+        first attach, with the kernel's frame-owner identity)."""
+        if self.domain is None:
+            self.domain = self.vmm.create_domain(
+                self.kernel.name, num_vcpus=len(self.machine.cpus),
+                is_driver_domain=True, domain_id=self.kernel.owner_id)
+            self.domain.guest = self.kernel
+            if self.paging is PagingMode.SHADOW:
+                from repro.core.shadow_vo import ShadowVirtualVO
+                from repro.vmm.shadow import ShadowPager
+                self.pager = ShadowPager(self.machine.memory,
+                                         self.kernel.owner_id)
+                self.virtual_vo = ShadowVirtualVO(self.machine, self.vmm,
+                                                  self.domain, self.pager)
+            else:
+                self.virtual_vo = VirtualVO(self.machine, self.vmm,
+                                            self.domain)
+        return self.domain
+
+    # ------------------------------------------------------------------
+    # mode switching
+    # ------------------------------------------------------------------
+
+    def attach(self, cpu: Optional["Cpu"] = None,
+               wait: bool = True) -> Optional[SwitchRecord]:
+        """Native → partial-virtual: attach the pre-cached VMM underneath
+        the running OS.  Returns the switch record once committed (drains
+        the retry timer if ``wait``)."""
+        if self.mode is not Mode.NATIVE:
+            raise ModeSwitchError(f"attach from mode {self.mode}")
+        before = len(self.engine.records)
+        self.engine.request(Direction.TO_VIRTUAL, cpu)
+        if wait:
+            self._drain_until_committed(before)
+        if len(self.engine.records) > before:
+            self.mode = Mode.PARTIAL_VIRTUAL
+            return self.engine.records[-1]
+        return None
+
+    def detach(self, cpu: Optional["Cpu"] = None,
+               wait: bool = True) -> Optional[SwitchRecord]:
+        """Partial-virtual → native: detach the VMM, OS back on bare
+        hardware."""
+        if self.mode is Mode.NATIVE:
+            raise ModeSwitchError("detach while already native")
+        if self._guests:
+            raise ModeSwitchError(
+                f"cannot detach while hosting {len(self._guests)} guest(s)")
+        before = len(self.engine.records)
+        self.engine.request(Direction.TO_NATIVE, cpu)
+        if wait:
+            self._drain_until_committed(before)
+        if len(self.engine.records) > before:
+            self.mode = Mode.NATIVE
+            return self.engine.records[-1]
+        return None
+
+    def full_virtualize(self, cpu: Optional["Cpu"] = None) -> None:
+        """Enter full-virtual mode: attach if needed, then quiesce the OS
+        as a migratable guest (flush dirty file state; device frontends are
+        re-created post-migration, §5.2)."""
+        if self.mode is Mode.NATIVE:
+            self.attach(cpu)
+        cpu = cpu or self.machine.boot_cpu
+        self.kernel.fs.sync_all(cpu)
+        self.mode = Mode.FULL_VIRTUAL
+
+    def departial(self) -> None:
+        """Leave full-virtual mode back to partial-virtual (after a
+        migration returns, for instance)."""
+        if self.mode is not Mode.FULL_VIRTUAL:
+            raise ModeSwitchError(f"departial from mode {self.mode}")
+        self.mode = Mode.PARTIAL_VIRTUAL
+
+    def _drain_until_committed(self, before: int,
+                               max_rounds: int = 10_000) -> None:
+        """Let the retry timer fire until the pending switch commits."""
+        for _ in range(max_rounds):
+            if len(self.engine.records) > before:
+                return
+            if self.machine.clock.next_deadline() is None:
+                return  # nothing pending: request must have failed hard
+            self.machine.clock.drain_until_idle(max_events=1)
+            self.machine.poll()
+
+    # ------------------------------------------------------------------
+    # hosting unmodified guests (M-U)
+    # ------------------------------------------------------------------
+
+    def host_guest(self, name: str = "domU", owner_id: Optional[int] = None,
+                   image_pages: int = 96, num_vcpus: int = 1,
+                   guest_addr: Optional[str] = None) -> Kernel:
+        """Create and boot an unmodified Xen-Linux guest on top of the
+        self-virtualized OS (which serves as its driver domain)."""
+        if self.mode is Mode.NATIVE:
+            raise ModeSwitchError("host_guest requires an attached VMM")
+        if owner_id is None:
+            owner_id = max([d for d in self.vmm.domains] + [0]) + 1
+        domain = self.vmm.create_domain(name, num_vcpus=num_vcpus,
+                                        domain_id=owner_id)
+        guest_vo = VirtualVO(self.machine, self.vmm, domain)
+        guest = Kernel(self.machine, guest_vo, owner_id=owner_id, name=name,
+                       has_devices=False)
+        domain.guest = guest
+        connect_split_block(guest, self.kernel, self.vmm)
+        connect_split_net(guest, self.kernel, self.vmm,
+                          guest_addr or f"{self.machine.nic.addr}:u{owner_id}")
+        guest.boot(image_pages=image_pages)
+        self._guests.append(guest)
+        return guest
+
+    def shutdown_guest(self, guest: Kernel) -> None:
+        if guest not in self._guests:
+            raise ModeSwitchError("unknown guest")
+        self._guests.remove(guest)
+        domain = self.vmm.domains.get(guest.owner_id)
+        if domain is not None:
+            self.vmm.destroy_domain(domain)
+
+    @property
+    def guests(self) -> list[Kernel]:
+        return list(self._guests)
+
+    # ------------------------------------------------------------------
+    # stats
+    # ------------------------------------------------------------------
+
+    @property
+    def switch_records(self) -> list[SwitchRecord]:
+        return self.engine.records
+
+    def mean_switch_us(self, direction: Direction) -> Optional[float]:
+        recs = [r for r in self.engine.records if r.direction is direction]
+        if not recs:
+            return None
+        freq = self.machine.config.cost.freq_mhz
+        return sum(r.us(freq) for r in recs) / len(recs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Mercury(mode={self.mode.value}, strategy={self.strategy.value}, "
+                f"switches={len(self.engine.records)})")

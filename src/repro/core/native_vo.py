@@ -1,0 +1,176 @@
+"""Native-mode virtualization object: direct hardware manipulation (§5.3).
+
+Every sensitive operation executes privileged instructions directly — the
+kernel runs at PL0 and owns the machine.  The only overhead relative to an
+unmodified kernel is the function-table indirection charged by
+:func:`~repro.core.vobject.sensitive` and (optionally) the ACTIVE
+page-accounting hook (§5.1.2's first alternative, benchmarked in the
+ablation).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.vobject import VirtualizationObject, sensitive
+from repro.hw.cpu import PrivilegeLevel
+
+if TYPE_CHECKING:
+    from repro.core.accounting import ActiveAccountant
+    from repro.hw.devices import BlockRequest, Packet
+    from repro.hw.interrupts import Idt
+    from repro.hw.machine import Machine
+    from repro.hw.paging import AddressSpace, Pte
+
+
+class NativeVO(VirtualizationObject):
+    """VO implementation for an OS running on bare hardware."""
+
+    mode_name = "native"
+
+    def __init__(self, machine: "Machine",
+                 accountant: Optional["ActiveAccountant"] = None):
+        super().__init__()
+        self.machine = machine
+        self.data.kernel_segment_dpl = 0
+        #: when the ACTIVE accounting strategy is selected, Mercury keeps the
+        #: pre-cached VMM's page type/count info up to date from native mode
+        #: at a small per-operation cost (§5.1.2)
+        self.accountant = accountant
+
+    # -- sensitive CPU operations -------------------------------------------
+
+    @sensitive
+    def write_cr3(self, cpu, pgd_frame: int) -> None:
+        cpu.write_cr3(pgd_frame)
+
+    @sensitive
+    def load_idt(self, cpu, idt: "Idt") -> None:
+        cpu.load_idt(idt)
+        self.data.idt = idt
+
+    @sensitive
+    def set_segment_dpl(self, cpu, dpl: int) -> None:
+        for desc in cpu.gdt.values():
+            desc.dpl = dpl
+        self.data.kernel_segment_dpl = dpl
+
+    @sensitive
+    def irq_disable(self, cpu) -> None:
+        cpu.cli()
+
+    @sensitive
+    def irq_enable(self, cpu) -> None:
+        cpu.sti()
+
+    @sensitive
+    def stack_switch(self, cpu, to_task) -> None:
+        cpu.charge(cpu.cost.cyc_privop_native)  # load the new esp0
+
+    # -- kernel entry/exit -------------------------------------------------
+
+    @sensitive
+    def kernel_entry(self, cpu) -> None:
+        cpu.charge(cpu.cost.cyc_kernel_entry)
+        cpu.set_privilege(PrivilegeLevel.PL0)
+
+    @sensitive
+    def kernel_exit(self, cpu) -> None:
+        cpu.charge(cpu.cost.cyc_kernel_exit)
+        cpu.set_privilege(PrivilegeLevel.PL3)
+
+    @sensitive
+    def fault_entry(self, cpu) -> None:
+        cpu.charge(cpu.cost.cyc_fault_hw)
+        cpu.set_privilege(PrivilegeLevel.PL0)
+
+    # -- sensitive memory operations ------------------------------------------
+
+    @sensitive
+    def set_pte(self, cpu, aspace: "AddressSpace", vaddr: int, pte: "Pte") -> None:
+        cpu.charge(cpu.cost.cyc_pte_write)
+        old = aspace.get_pte(vaddr) if self.accountant is not None else None
+        aspace.set_pte(vaddr, pte)
+        if self.accountant is not None:
+            self.accountant.on_set_pte(cpu, aspace, vaddr, pte, old)
+
+    @sensitive
+    def clear_pte(self, cpu, aspace: "AddressSpace", vaddr: int) -> None:
+        cpu.charge(cpu.cost.cyc_pte_write)
+        old = aspace.clear_pte(vaddr)
+        cpu.tlb.invalidate(vaddr // 4096)
+        if self.accountant is not None and old is not None:
+            self.accountant.on_clear_pte(cpu, aspace, vaddr, old)
+
+    @sensitive
+    def update_pte_flags(self, cpu, aspace: "AddressSpace", vaddr: int, *,
+                         writable=None, present=None, cow=None) -> None:
+        cpu.charge(cpu.cost.cyc_pte_write)
+        pte = aspace.get_pte(vaddr)
+        if pte is None:
+            return
+        if writable is not None:
+            pte.writable = writable
+        if present is not None:
+            pte.present = present
+        if cow is not None:
+            pte.cow = cow
+        cpu.tlb.invalidate(vaddr // 4096)
+        if self.accountant is not None:
+            self.accountant.on_update_pte(cpu, aspace, vaddr, pte)
+
+    @sensitive
+    def apply_pte_region(self, cpu, aspace: "AddressSpace", updates: list) -> None:
+        for vaddr, pte in updates:
+            cpu.charge(cpu.cost.cyc_pte_write)
+            old = aspace.get_pte(vaddr) if self.accountant is not None else None
+            if pte is None:
+                removed = aspace.clear_pte(vaddr)
+                cpu.tlb.invalidate(vaddr // 4096)
+                if self.accountant is not None and removed is not None:
+                    self.accountant.on_clear_pte(cpu, aspace, vaddr, removed)
+            else:
+                aspace.set_pte(vaddr, pte)
+                if self.accountant is not None:
+                    self.accountant.on_set_pte(cpu, aspace, vaddr, pte, old)
+
+    @sensitive
+    def new_address_space(self, cpu, aspace: "AddressSpace") -> None:
+        # Bare hardware needs nothing: the MMU will happily walk any frames.
+        if self.accountant is not None:
+            self.accountant.on_new_address_space(cpu, aspace)
+
+    @sensitive
+    def destroy_address_space(self, cpu, aspace: "AddressSpace") -> None:
+        if self.accountant is not None:
+            self.accountant.on_destroy_address_space(cpu, aspace)
+        aspace.destroy()
+
+    @sensitive
+    def flush_tlb(self, cpu) -> None:
+        cpu.charge(cpu.cost.cyc_tlb_flush)
+        cpu.tlb.flush()
+
+    @sensitive
+    def invlpg(self, cpu, vaddr: int) -> None:
+        cpu.charge(cpu.cost.cyc_privop_native)
+        cpu.tlb.invalidate(vaddr // 4096)
+
+    # -- sensitive I/O operations -------------------------------------------
+
+    @sensitive
+    def bind_irq(self, cpu, line: str, cpu_id: int, vector: int) -> None:
+        cpu.charge(cpu.cost.cyc_privop_native)
+        self.machine.intc.bind_line(line, cpu_id, vector)
+        self.data.irq_bindings[line] = (cpu_id, vector)
+
+    @sensitive
+    def disk_submit(self, cpu, req: "BlockRequest") -> None:
+        cpu.charge(cpu.cost.cyc_disk_submit)
+        self.machine.disk.submit(req)
+
+    @sensitive
+    def net_transmit(self, cpu, pkt: "Packet") -> None:
+        cpu.charge(cpu.cost.cyc_net_per_packet)
+        cpu.charge(cpu.cost.cyc_net_copy_per_kb * max(1, pkt.size_bytes // 1024))
+        self.machine.nic.transmit(pkt)

@@ -1,0 +1,110 @@
+"""Virtual-mode VO for shadow paging (ablation A4).
+
+With shadow paging the guest's own page tables are never installed in the
+MMU, so the guest may write them freely — but every write traps and is
+re-translated into the VMM-owned shadow, and CR3 loads must resolve to the
+shadow's root.  Compare :class:`~repro.core.virtual_vo.VirtualVO` (direct
+mode), where the guest's tables are the live ones and updates go through
+validated hypercalls instead.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.virtual_vo import VirtualVO
+from repro.core.vobject import sensitive
+from repro.errors import HypercallError
+from repro.hw.cpu import PrivilegeLevel
+
+if TYPE_CHECKING:
+    from repro.hw.machine import Machine
+    from repro.hw.paging import AddressSpace, Pte
+    from repro.vmm.domain import Domain
+    from repro.vmm.hypervisor import Hypervisor
+    from repro.vmm.shadow import ShadowPager
+
+
+class ShadowVirtualVO(VirtualVO):
+    """De-privileged VO whose MMU operations maintain shadows."""
+
+    mode_name = "virtual-shadow"
+
+    def __init__(self, machine: "Machine", vmm: "Hypervisor",
+                 domain: "Domain", pager: "ShadowPager"):
+        super().__init__(machine, vmm, domain)
+        self.pager = pager
+
+    # -- CPU ----------------------------------------------------------------
+
+    @sensitive
+    def write_cr3(self, cpu, pgd_frame: int) -> None:
+        for aspace in self.domain.aspaces:
+            if aspace.pgd_frame == pgd_frame:
+                shadow = self.pager.shadow_of(aspace)
+                # the VMM installs the *shadow* root
+                cpu.charge(cpu.cost.cyc_emulate_privop)
+                saved, cpu.pl = cpu.pl, PrivilegeLevel.PL0
+                try:
+                    cpu.write_cr3(shadow.pgd_frame)
+                finally:
+                    cpu.pl = saved
+                return
+        raise HypercallError(f"CR3 load of unregistered PGD frame {pgd_frame}")
+
+    # -- MMU: direct guest writes + trapped shadow syncs -----------------------
+
+    @sensitive
+    def set_pte(self, cpu, aspace: "AddressSpace", vaddr: int,
+                pte: "Pte") -> None:
+        cpu.charge(cpu.cost.cyc_pte_write)
+        aspace.set_pte(vaddr, pte)
+        if id(aspace) in self.pager.shadows:
+            self.pager.sync_pte(cpu, aspace, vaddr)
+
+    @sensitive
+    def clear_pte(self, cpu, aspace: "AddressSpace", vaddr: int) -> None:
+        cpu.charge(cpu.cost.cyc_pte_write)
+        aspace.clear_pte(vaddr)
+        if id(aspace) in self.pager.shadows:
+            self.pager.sync_pte(cpu, aspace, vaddr)
+
+    @sensitive
+    def update_pte_flags(self, cpu, aspace: "AddressSpace", vaddr: int, *,
+                         writable=None, present=None, cow=None) -> None:
+        pte = aspace.get_pte(vaddr)
+        if pte is None:
+            return
+        cpu.charge(cpu.cost.cyc_pte_write)
+        if writable is not None:
+            pte.writable = writable
+        if present is not None:
+            pte.present = present
+        if cow is not None:
+            pte.cow = cow
+        if id(aspace) in self.pager.shadows:
+            self.pager.sync_pte(cpu, aspace, vaddr)
+
+    @sensitive
+    def apply_pte_region(self, cpu, aspace: "AddressSpace",
+                         updates: list) -> None:
+        # shadow mode cannot batch: every write is an individual trap
+        for vaddr, pte in updates:
+            cpu.charge(cpu.cost.cyc_pte_write)
+            if pte is None:
+                aspace.clear_pte(vaddr)
+            else:
+                aspace.set_pte(vaddr, pte)
+            if id(aspace) in self.pager.shadows:
+                self.pager.sync_pte(cpu, aspace, vaddr)
+
+    @sensitive
+    def new_address_space(self, cpu, aspace: "AddressSpace") -> None:
+        self.domain.register_aspace(aspace)
+        self.pager.build(cpu, aspace)
+
+    @sensitive
+    def destroy_address_space(self, cpu, aspace: "AddressSpace") -> None:
+        self.pager.drop(cpu, aspace)
+        self.domain.unregister_aspace(aspace)
+        aspace.destroy()

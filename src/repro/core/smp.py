@@ -1,0 +1,132 @@
+"""Multicore mode-switch coordination (§5.4).
+
+"Mercury uses the IPI mechanism and shared variables to control the mode
+switch of each processor": the control processor (CP) — the one that
+received the switch request — IPIs every other core; each core acknowledges
+by incrementing a shared counter and spins on a shared flag; the CP raises
+the flag once the counter equals the CPU count; every core then performs its
+per-CPU share of the switch; completion is gathered through a second shared
+counter.
+
+Timing model: the CP's heavy work (state transfer, page-info recompute, VMM
+(de)activation) is charged to the global clock as usual.  The secondaries'
+per-CPU reloads happen *concurrently* with it, so their cycles are measured,
+overlapped against the CP timeline, and only the straggler extends the
+total — giving the switch-time-vs-core-count curve of the scalability
+ablation (§8's 'performance scalability of Mercury' concern).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import RendezvousTimeout
+from repro.hw.interrupts import VEC_SV_RENDEZVOUS
+
+if TYPE_CHECKING:
+    from repro.hw.cpu import Cpu
+    from repro.hw.machine import Machine
+
+
+@dataclass
+class RendezvousResult:
+    """Timeline of one coordinated switch, all values in cycles."""
+
+    num_cpus: int
+    start: int
+    #: when every CPU had acknowledged the IPI (shared count == num CPUs)
+    gathered: int
+    #: when the control processor finished its heavy work
+    cp_done: int
+    #: when the last secondary finished its per-CPU reload
+    secondaries_done: int
+    #: overall completion
+    finish: int
+    ipis_sent: int = 0
+
+    @property
+    def total_cycles(self) -> int:
+        return self.finish - self.start
+
+    @property
+    def gather_cycles(self) -> int:
+        return self.gathered - self.start
+
+
+class SmpCoordinator:
+    """Executes the shared-counter/flag rendezvous protocol."""
+
+    def __init__(self, machine: "Machine"):
+        self.machine = machine
+        # shared variables of the protocol (§5.4), exposed for tests
+        self.ready_count = 0
+        self.go_flag = False
+        self.done_count = 0
+
+    def coordinated_switch(self, cp: "Cpu",
+                           cp_work: Callable[["Cpu"], None],
+                           secondary_work: Callable[["Cpu"], None]
+                           ) -> RendezvousResult:
+        """Run ``cp_work`` on the control processor and ``secondary_work``
+        on every other core, under the rendezvous protocol."""
+        clock = self.machine.clock
+        cost = cp.cost
+        cpus = self.machine.cpus
+        secondaries = [c for c in cpus if c is not cp]
+        t_start = clock.cycles
+
+        self.ready_count = 1  # the CP itself
+        self.go_flag = False
+        self.done_count = 0
+
+        # 1. CP notifies the other processors
+        ipis = 0
+        for c in secondaries:
+            self.machine.intc.send_ipi(cp, c.cpu_id, VEC_SV_RENDEZVOUS)
+            ipis += 1
+
+        # 2. each secondary receives the IPI (in parallel), masks its own
+        # interrupts, and bumps the shared count; the CP spins until the
+        # count covers every CPU
+        if secondaries:
+            clock.advance(cost.cyc_ipi_deliver)
+            for c in secondaries:
+                self.machine.intc.consume_vector(c.cpu_id, VEC_SV_RENDEZVOUS)
+                c.interrupts_enabled = False
+                clock.advance(cost.cyc_refcount_check)  # shared-count update
+                self.ready_count += 1
+        if self.ready_count != len(cpus):
+            raise RendezvousTimeout(
+                f"gathered {self.ready_count}/{len(cpus)} CPUs")
+        t_gathered = clock.cycles
+
+        # 3. CP raises the flag and performs the heavy switch work
+        self.go_flag = True
+        cp_work(cp)
+        t_cp_done = clock.cycles
+
+        # 4. the secondaries saw the flag at t_gathered and reloaded their
+        # own state concurrently with the CP's work: execute their reloads
+        # for state correctness, overlap their cycle cost against the CP
+        t_secondaries_done = t_gathered
+        for c in secondaries:
+            before = clock.cycles
+            secondary_work(c)
+            self.done_count += 1
+            delta = clock.cycles - before
+            clock.cycles = before  # overlapped with cp_work, not serial
+            t_secondaries_done = max(t_secondaries_done, t_gathered + delta)
+
+        # 5. completion: the switch is over when the straggler finishes
+        t_finish = max(t_cp_done, t_secondaries_done)
+        clock.cycles = max(clock.cycles, t_finish)
+        self.done_count += 1  # the CP
+
+        for c in secondaries:
+            c.interrupts_enabled = True
+
+        return RendezvousResult(
+            num_cpus=len(cpus), start=t_start, gathered=t_gathered,
+            cp_done=t_cp_done, secondaries_done=t_secondaries_done,
+            finish=t_finish, ipis_sent=ipis)

@@ -1,0 +1,261 @@
+"""The mode-switch engine (§5.1): interrupt-driven attach/detach.
+
+A switch request raises one of the two dedicated self-virtualization
+vectors (§5.1.3: "Mercury adds two interrupt handlers for mode switches").
+The handler:
+
+1. checks the VO reference count (§5.1.1) — if some CPU is inside
+   virtualization-sensitive code the switch cannot commit, so a retry timer
+   re-raises the request every 10 ms until the count reaches zero;
+2. disables interrupts, runs the state-transfer functions (§5.1.2) and the
+   hardware state reload (§5.1.3) — on SMP machines under the IPI
+   rendezvous (§5.4);
+3. swaps the kernel's VO pointer (§4.2's "relocation ... by changing the
+   object pointer") and activates/deactivates the pre-cached VMM;
+4. measures its own duration with RDTSC, exactly as §7.4 does.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.accounting import AccountingStrategy
+from repro.core.reload import reload_control_processor, reload_secondary
+from repro.core.smp import RendezvousResult, SmpCoordinator
+from repro.core import transfer
+from repro.errors import ModeSwitchError, SwitchBusy
+from repro.hw.cpu import PrivilegeLevel
+from repro.hw.interrupts import VEC_SV_ATTACH, VEC_SV_DETACH
+
+if TYPE_CHECKING:
+    from repro.core.mercury import Mercury
+    from repro.hw.cpu import Cpu
+
+#: retry period for a busy switch (§5.1.1: "every time interval (e.g.,
+#: every 10 ms)")
+RETRY_PERIOD_MS = 10
+
+
+class Direction(enum.Enum):
+    TO_VIRTUAL = "to_virtual"
+    TO_NATIVE = "to_native"
+
+
+@dataclass
+class SwitchRecord:
+    """One committed mode switch, RDTSC-measured."""
+
+    direction: Direction
+    start_tsc: int
+    end_tsc: int
+    pt_pages: int = 0
+    retries: int = 0
+    rendezvous: Optional[RendezvousResult] = None
+
+    @property
+    def cycles(self) -> int:
+        return self.end_tsc - self.start_tsc
+
+    def us(self, freq_mhz: int = 3000) -> float:
+        return self.cycles / freq_mhz
+
+    def ms(self, freq_mhz: int = 3000) -> float:
+        return self.us(freq_mhz) / 1000.0
+
+
+class ModeSwitchEngine:
+    """Owns the switch interrupt handlers and the commit protocol."""
+
+    def __init__(self, mercury: "Mercury"):
+        self.mercury = mercury
+        self.machine = mercury.machine
+        self.smp = SmpCoordinator(self.machine)
+        self.records: list[SwitchRecord] = []
+        self.pending_retries = 0
+        self.failed_attempts = 0
+
+    # ------------------------------------------------------------------
+    # handler installation
+    # ------------------------------------------------------------------
+
+    def install_handlers(self) -> None:
+        """Register the attach vector in the guest IDT (taken in native
+        mode) and the detach vector in the VMM's permanent gates (taken in
+        virtual mode, where the hardware IDT belongs to the VMM —
+        the VO-assistant of §4.4)."""
+        kernel = self.mercury.kernel
+        kernel.idt.set_gate(VEC_SV_ATTACH, self._attach_handler,
+                            handler_pl=0, name="sv-attach")
+        self.mercury.vmm.extra_gates[VEC_SV_DETACH] = self._detach_handler
+
+    # ------------------------------------------------------------------
+    # request entry points
+    # ------------------------------------------------------------------
+
+    def request(self, direction: Direction, cpu: Optional["Cpu"] = None) -> None:
+        """Raise the switch interrupt; the handler does the rest when the
+        machine polls."""
+        cpu = cpu or self.machine.boot_cpu
+        vector = (VEC_SV_ATTACH if direction is Direction.TO_VIRTUAL
+                  else VEC_SV_DETACH)
+        self.machine.intc.raise_vector(cpu.cpu_id, vector)
+        self.machine.poll()
+
+    # ------------------------------------------------------------------
+    # interrupt handlers
+    # ------------------------------------------------------------------
+
+    def _attach_handler(self, cpu: "Cpu", vector: int) -> None:
+        self._handle(cpu, Direction.TO_VIRTUAL)
+
+    def _detach_handler(self, cpu: "Cpu", vector: int) -> None:
+        self._handle(cpu, Direction.TO_NATIVE)
+
+    def _handle(self, cpu: "Cpu", direction: Direction) -> None:
+        mercury = self.mercury
+        start_tsc = cpu.rdtsc()
+        cpu.charge(cpu.cost.cyc_switch_interrupt)
+
+        # a stale/duplicate request (e.g. a retry that raced an already-
+        # committed switch) is dropped silently — switches are idempotent
+        # per target mode
+        if direction is Direction.TO_VIRTUAL and mercury.vmm.active and \
+                mercury.kernel.vo is mercury.virtual_vo:
+            self.pending_retries = 0
+            return
+        if direction is Direction.TO_NATIVE and \
+                mercury.kernel.vo is mercury.native_vo:
+            self.pending_retries = 0
+            return
+
+        # §5.1.1: only commit at refcount zero
+        cpu.charge(cpu.cost.cyc_refcount_check)
+        if mercury.kernel.vo.busy():
+            self.failed_attempts += 1
+            self._arm_retry(cpu, direction)
+            return
+
+        retries = self.pending_retries
+        self.pending_retries = 0
+        record = self._commit(cpu, direction, start_tsc, retries)
+        self.records.append(record)
+
+    def _arm_retry(self, cpu: "Cpu", direction: Direction) -> None:
+        """Busy: register a timer that re-raises the request (§5.1.1)."""
+        self.pending_retries += 1
+        vector = (VEC_SV_ATTACH if direction is Direction.TO_VIRTUAL
+                  else VEC_SV_DETACH)
+        period_cycles = RETRY_PERIOD_MS * 1000 * cpu.cost.freq_mhz
+        self.machine.clock.schedule(
+            period_cycles,
+            lambda: self.machine.intc.raise_vector(cpu.cpu_id, vector))
+
+    # ------------------------------------------------------------------
+    # the commit
+    # ------------------------------------------------------------------
+
+    def _commit(self, cpu: "Cpu", direction: Direction, start_tsc: int,
+                retries: int) -> SwitchRecord:
+        mercury = self.mercury
+        kernel = mercury.kernel
+        if direction is Direction.TO_VIRTUAL and mercury.vmm.active and \
+                kernel.vo is mercury.virtual_vo:
+            raise ModeSwitchError("already in virtual mode")
+        if direction is Direction.TO_NATIVE and kernel.vo is mercury.native_vo:
+            raise ModeSwitchError("already in native mode")
+
+        # uninterruptible from here (the handler context already raised us
+        # to PL0; we additionally mask)
+        saved_if, cpu.interrupts_enabled = cpu.interrupts_enabled, False
+        pt_pages = 0
+        try:
+            if direction is Direction.TO_VIRTUAL:
+                pt_pages, rendezvous = self._to_virtual(cpu)
+            else:
+                pt_pages, rendezvous = self._to_native(cpu)
+        finally:
+            cpu.interrupts_enabled = saved_if
+        end_tsc = cpu.rdtsc()
+
+        # the committed mode is a property of the switch, not of whoever
+        # requested it — deferred (retried) switches update it here
+        from repro.core.mercury import Mode
+        mercury.mode = (Mode.PARTIAL_VIRTUAL
+                        if direction is Direction.TO_VIRTUAL else Mode.NATIVE)
+        return SwitchRecord(direction=direction, start_tsc=start_tsc,
+                            end_tsc=end_tsc, pt_pages=pt_pages,
+                            retries=retries, rendezvous=rendezvous)
+
+    def _to_virtual(self, cpu: "Cpu") -> tuple[int, Optional[RendezvousResult]]:
+        mercury = self.mercury
+        kernel = mercury.kernel
+        vmm = mercury.vmm
+        domain = mercury.ensure_domain()
+        state = {"pt_pages": 0}
+
+        def cp_work(cp: "Cpu") -> None:
+            from repro.core.mercury import PagingMode
+            if mercury.paging is PagingMode.SHADOW:
+                # §3.2.2 shadow mode: translate every guest table into a
+                # VMM-owned shadow instead of validating + pinning
+                for aspace in kernel.aspaces:
+                    domain.register_aspace(aspace)
+                state["pt_pages"] = mercury.pager.build_all(cp, kernel.aspaces)
+            else:
+                state["pt_pages"] = transfer.transfer_page_tables_to_virtual(
+                    cp, kernel, vmm, domain, mercury.strategy)
+            transfer.transfer_segments(cp, kernel, new_dpl=1)
+            transfer.transfer_irq_bindings_to_virtual(cp, kernel, vmm, domain)
+            vmm.activate()
+            reload_control_processor(cp, kernel, PrivilegeLevel.PL1)
+            kernel.vo = mercury.virtual_vo
+            if mercury.paging is PagingMode.SHADOW and \
+                    kernel.scheduler.current is not None:
+                # the hardware must run on the shadow root, not the guest's
+                kernel.vo.write_cr3(
+                    cp, kernel.scheduler.current.aspace.pgd_frame)
+
+        def secondary_work(c: "Cpu") -> None:
+            reload_secondary(c, kernel, PrivilegeLevel.PL1)
+
+        rendezvous = self._run(cpu, cp_work, secondary_work)
+        return state["pt_pages"], rendezvous
+
+    def _to_native(self, cpu: "Cpu") -> tuple[int, Optional[RendezvousResult]]:
+        mercury = self.mercury
+        kernel = mercury.kernel
+        vmm = mercury.vmm
+        domain = mercury.ensure_domain()
+        state = {"pt_pages": 0}
+
+        def cp_work(cp: "Cpu") -> None:
+            from repro.core.mercury import PagingMode
+            if mercury.paging is PagingMode.SHADOW:
+                mercury.pager.drop_all(cp)
+                for aspace in list(domain.aspaces):
+                    domain.unregister_aspace(aspace)
+                state["pt_pages"] = sum(a.num_pt_pages()
+                                        for a in kernel.aspaces)
+            else:
+                state["pt_pages"] = transfer.transfer_page_tables_to_native(
+                    cp, kernel, vmm, domain)
+            transfer.transfer_segments(cp, kernel, new_dpl=0)
+            vmm.deactivate()
+            transfer.transfer_irq_bindings_to_native(cp, kernel)
+            reload_control_processor(cp, kernel, PrivilegeLevel.PL0)
+            kernel.vo = mercury.native_vo
+
+        def secondary_work(c: "Cpu") -> None:
+            reload_secondary(c, kernel, PrivilegeLevel.PL0)
+
+        rendezvous = self._run(cpu, cp_work, secondary_work)
+        return state["pt_pages"], rendezvous
+
+    def _run(self, cpu: "Cpu", cp_work, secondary_work
+             ) -> Optional[RendezvousResult]:
+        if len(self.machine.cpus) > 1:
+            return self.smp.coordinated_switch(cpu, cp_work, secondary_work)
+        cp_work(cpu)
+        return None

@@ -1,0 +1,116 @@
+"""State-transfer functions (§5.1.2): make virtualization-sensitive data
+semantically equivalent in the target mode.
+
+Three sets of kernel state move during a switch:
+
+1. **Page-table pages** — read-only (pinned, validated) in virtual mode,
+   writable in native mode.  Going virtual also requires the VMM's page
+   type/count info to be correct: recomputed here (or trusted, under the
+   ACTIVE strategy).
+2. **Kernel segment privilege** — DPL 0 native, DPL 1 virtual; including
+   the *stack-cached* copies in every suspended task's interrupt frame (the
+   fixup stub of §5.1.2, without which the first IRET after a switch takes
+   a general protection fault).
+3. **Interrupt handlers and bindings** — the guest IDT drives the hardware
+   directly in native mode; in virtual mode the hardware IDT is the VMM's
+   and guest handlers are reached through its forwarding gates.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.accounting import AccountingStrategy
+from repro.hw.cpu import PrivilegeLevel
+
+if TYPE_CHECKING:
+    from repro.guestos.kernel import Kernel
+    from repro.hw.cpu import Cpu
+    from repro.vmm.domain import Domain
+    from repro.vmm.hypervisor import Hypervisor
+
+
+def transfer_page_tables_to_virtual(cpu: "Cpu", kernel: "Kernel",
+                                    vmm: "Hypervisor", domain: "Domain",
+                                    strategy: AccountingStrategy) -> int:
+    """Hand the OS's page tables to the VMM: register every address space
+    with the domain and make the page-info table correct.
+
+    Returns the number of page-table pages processed (the dominant cost
+    driver of the native→virtual switch, §7.4)."""
+    processed = 0
+    for aspace in kernel.aspaces:
+        domain.register_aspace(aspace)
+        processed += aspace.num_pt_pages()
+
+    if strategy is AccountingStrategy.RECOMPUTE:
+        # full re-validation: the expensive, paper-default path
+        vmm.page_info.recompute(cpu, kernel.aspaces, domain.domain_id)
+    else:
+        # ACTIVE: counts were maintained from native mode; only the pin
+        # markers and a light re-protection pass are needed
+        for aspace in kernel.aspaces:
+            for pt in aspace.pt_pages():
+                cpu.charge(cpu.cost.cyc_transfer_per_pt_page)
+                vmm.page_info.pinned.add(pt.frame)
+    return processed
+
+
+def transfer_page_tables_to_native(cpu: "Cpu", kernel: "Kernel",
+                                   vmm: "Hypervisor", domain: "Domain") -> int:
+    """Give the page tables back to the OS: unpin (make writable again) and
+    unregister.  The page-info table is left as-is; it is stale from this
+    moment (unless the ACTIVE accountant keeps it warm)."""
+    processed = 0
+    for aspace in list(kernel.aspaces):
+        for pt in aspace.pt_pages():
+            cpu.charge(cpu.cost.cyc_transfer_per_pt_page)
+            vmm.page_info.pinned.discard(pt.frame)
+            processed += 1
+        if aspace in domain.aspaces:
+            domain.unregister_aspace(aspace)
+    return processed
+
+
+def transfer_segments(cpu: "Cpu", kernel: "Kernel", new_dpl: int) -> int:
+    """Re-privilege the kernel segments and fix every stack-cached selector
+    (§5.1.2: 'a code stub to check and fix the cached segment selectors').
+
+    Returns the number of task frames fixed."""
+    for c in kernel.machine.cpus:
+        for desc in c.gdt.values():
+            if desc.name.startswith("kernel"):
+                desc.dpl = new_dpl
+    # NOTE: each VO's data table is mode-constant (NativeVO: DPL 0,
+    # VirtualVO: DPL 1) — the switch installs the other object rather than
+    # mutating this one, so nothing to update here beyond the hardware.
+
+    fixed = 0
+    for task in kernel.procs.live_tasks():
+        if task.stack_cached_selector_dpl is not None and \
+                task.stack_cached_selector_dpl != new_dpl:
+            cpu.charge(cpu.cost.cyc_iret_fixup)
+            task.stack_cached_selector_dpl = new_dpl
+            fixed += 1
+    return fixed
+
+
+def transfer_irq_bindings_to_virtual(cpu: "Cpu", kernel: "Kernel",
+                                     vmm: "Hypervisor", domain: "Domain") -> None:
+    """Move interrupt delivery under the VMM: register the guest's handlers
+    as the domain trap table and install the VMM's forwarding IDT."""
+    table = {vec: entry.handler for vec, entry in kernel.idt.gates.items()}
+    domain.trap_table = table
+    cpu.charge(cpu.cost.cyc_privop_native * max(1, len(table)))
+    vmm.install_idt_for(domain)
+
+
+def transfer_irq_bindings_to_native(cpu: "Cpu", kernel: "Kernel") -> None:
+    """Point the hardware back at the guest's own IDT."""
+    cpu.charge(cpu.cost.cyc_privop_native * max(1, len(kernel.idt.gates)))
+    for c in kernel.machine.cpus:
+        saved, c.pl = c.pl, PrivilegeLevel.PL0
+        try:
+            c.load_idt(kernel.idt)
+        finally:
+            c.pl = saved

@@ -1,0 +1,240 @@
+"""Virtual-mode virtualization object: hypercalls into the attached VMM.
+
+The de-privileged twin of :class:`~repro.core.native_vo.NativeVO` (§5.3):
+every sensitive operation becomes a hypercall (or relies on trap-and-
+emulate for the non-performance-critical cases).  The kernel runs at PL1;
+the VMM validates everything.
+
+Two details matter for fidelity:
+
+- **Unpinned page tables are plain memory.**  A new address space under
+  construction (fork building the child's tables) is written directly at
+  native cost; only when it is *pinned* (``new_address_space``) does the
+  VMM validate it, and from then on every update must go through
+  ``mmu_update``.  This is exactly Xen's lifecycle and the reason fork's
+  slowdown comes from COW re-protection + teardown rather than child
+  construction.
+- **Syscalls pay a de-privileging tax** (§3.2.1): entry/exit bounce
+  through the VMM's fast path and the segment fixups, charged here.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.vobject import VirtualizationObject, sensitive
+from repro.errors import HypercallError
+from repro.hw.cpu import PrivilegeLevel
+
+if TYPE_CHECKING:
+    from repro.hw.devices import BlockRequest, Packet
+    from repro.hw.interrupts import Idt
+    from repro.hw.machine import Machine
+    from repro.hw.paging import AddressSpace, Pte
+    from repro.vmm.domain import Domain
+    from repro.vmm.hypervisor import Hypervisor
+
+
+class VirtualVO(VirtualizationObject):
+    """VO implementation for an OS running on the VMM."""
+
+    mode_name = "virtual"
+    is_virtual = True
+
+    def __init__(self, machine: "Machine", vmm: "Hypervisor", domain: "Domain"):
+        super().__init__()
+        self.machine = machine
+        self.vmm = vmm
+        self.domain = domain
+        self.data.kernel_segment_dpl = 1
+
+    # -- helpers -----------------------------------------------------------
+
+    def _hcall(self, cpu, name: str, *args):
+        return self.vmm.hypercall(cpu, self.domain, name, *args)
+
+    def _pinned(self, aspace: "AddressSpace") -> bool:
+        return aspace.pgd.frame in self.vmm.page_info.pinned
+
+    # -- sensitive CPU operations -------------------------------------------
+
+    @sensitive
+    def write_cr3(self, cpu, pgd_frame: int) -> None:
+        # find the registered aspace backing this PGD
+        for aspace in self.domain.aspaces:
+            if aspace.pgd_frame == pgd_frame:
+                if not self._pinned(aspace):
+                    self._hcall(cpu, "mmuext_op", "pin_table", aspace)
+                self._hcall(cpu, "mmuext_op", "new_baseptr", aspace)
+                return
+        raise HypercallError(f"CR3 load of unregistered PGD frame {pgd_frame}")
+
+    @sensitive
+    def load_idt(self, cpu, idt: "Idt") -> None:
+        # the hardware IDT belongs to the VMM; the guest registers handlers
+        table = {vec: entry.handler for vec, entry in idt.gates.items()}
+        self._hcall(cpu, "set_trap_table", table)
+        self.data.idt = idt
+
+    @sensitive
+    def set_segment_dpl(self, cpu, dpl: int) -> None:
+        self._hcall(cpu, "set_gdt", max(dpl, 1))  # VMM refuses PL0 segments
+        self.data.kernel_segment_dpl = max(dpl, 1)
+
+    @sensitive
+    def irq_disable(self, cpu) -> None:
+        # virtual IF: a cheap write to the shared-info page, no hypercall
+        cpu.charge(2)
+        vcpu = self._vcpu(cpu)
+        if vcpu is not None:
+            vcpu.saved_if = False
+
+    @sensitive
+    def irq_enable(self, cpu) -> None:
+        cpu.charge(2)
+        vcpu = self._vcpu(cpu)
+        if vcpu is not None:
+            vcpu.saved_if = True
+
+    @sensitive
+    def stack_switch(self, cpu, to_task) -> None:
+        # beyond the hypercall itself, a Xen guest context switch updates
+        # descriptors and takes segment/FPU trap storms
+        cpu.charge(cpu.cost.cyc_virt_ctx_extra)
+        self._hcall(cpu, "stack_switch", id(to_task))
+
+    # -- kernel entry/exit ----------------------------------------------------
+
+    @sensitive
+    def kernel_entry(self, cpu) -> None:
+        cpu.charge(cpu.cost.cyc_kernel_entry + cpu.cost.cyc_syscall_virt_extra)
+        cpu.set_privilege(PrivilegeLevel.PL1)
+
+    @sensitive
+    def kernel_exit(self, cpu) -> None:
+        cpu.charge(cpu.cost.cyc_kernel_exit + cpu.cost.cyc_iret_fixup)
+        cpu.set_privilege(PrivilegeLevel.PL3)
+
+    @sensitive
+    def fault_entry(self, cpu) -> None:
+        # fault -> VMM -> reflected into the guest handler (the secondary
+        # cache/iTLB damage is charged on the fixup paths in vmem)
+        cpu.charge(cpu.cost.cyc_fault_hw + cpu.cost.cyc_trap_roundtrip)
+        cpu.set_privilege(PrivilegeLevel.PL1)
+
+    # -- sensitive memory operations --------------------------------------------
+
+    @sensitive
+    def set_pte(self, cpu, aspace: "AddressSpace", vaddr: int, pte: "Pte") -> None:
+        if self._pinned(aspace):
+            self._hcall(cpu, "update_va_mapping", aspace, vaddr, pte)
+        else:
+            # unpinned tables are plain memory: direct write, validated later
+            cpu.charge(cpu.cost.cyc_pte_write)
+            aspace.set_pte(vaddr, pte)
+
+    @sensitive
+    def clear_pte(self, cpu, aspace: "AddressSpace", vaddr: int) -> None:
+        if self._pinned(aspace):
+            self._hcall(cpu, "update_va_mapping", aspace, vaddr, None)
+        else:
+            cpu.charge(cpu.cost.cyc_pte_write)
+            aspace.clear_pte(vaddr)
+
+    @sensitive
+    def update_pte_flags(self, cpu, aspace: "AddressSpace", vaddr: int, *,
+                         writable=None, present=None, cow=None) -> None:
+        pte = aspace.get_pte(vaddr)
+        if pte is None:
+            return
+        new = pte.clone()
+        if writable is not None:
+            new.writable = writable
+        if present is not None:
+            new.present = present
+        if cow is not None:
+            new.cow = cow
+        if self._pinned(aspace):
+            self._hcall(cpu, "update_va_mapping", aspace, vaddr, new)
+        else:
+            cpu.charge(cpu.cost.cyc_pte_write)
+            aspace.set_pte(vaddr, new)
+        cpu.tlb.invalidate(vaddr // 4096)
+
+    @sensitive
+    def apply_pte_region(self, cpu, aspace: "AddressSpace", updates: list) -> None:
+        if not self._pinned(aspace):
+            for vaddr, pte in updates:
+                cpu.charge(cpu.cost.cyc_pte_write)
+                if pte is None:
+                    aspace.clear_pte(vaddr)
+                else:
+                    aspace.set_pte(vaddr, pte)
+            return
+        # pinned: batched mmu_update multicalls
+        batch = cpu.cost.mmu_batch_size
+        for i in range(0, len(updates), batch):
+            chunk = [(aspace, vaddr, pte)
+                     for vaddr, pte in updates[i:i + batch]]
+            self._hcall(cpu, "mmu_update", chunk)
+
+    @sensitive
+    def new_address_space(self, cpu, aspace: "AddressSpace") -> None:
+        self.domain.register_aspace(aspace)
+        self._hcall(cpu, "mmuext_op", "pin_table", aspace)
+
+    @sensitive
+    def destroy_address_space(self, cpu, aspace: "AddressSpace") -> None:
+        if self._pinned(aspace):
+            self._hcall(cpu, "mmuext_op", "unpin_table", aspace)
+        self.domain.unregister_aspace(aspace)
+        aspace.destroy()
+
+    @sensitive
+    def flush_tlb(self, cpu) -> None:
+        self._hcall(cpu, "mmuext_op", "tlb_flush_local")
+
+    @sensitive
+    def invlpg(self, cpu, vaddr: int) -> None:
+        self._hcall(cpu, "mmuext_op", "invlpg_local", None, vaddr)
+
+    # -- sensitive I/O operations ---------------------------------------------
+
+    @sensitive
+    def bind_irq(self, cpu, line: str, cpu_id: int, vector: int) -> None:
+        # only the driver domain may touch real interrupt routing
+        if not self.domain.is_driver_domain:
+            raise HypercallError(
+                f"domain {self.domain.domain_id} has no direct irq access")
+        cpu.charge(cpu.cost.cyc_event_channel)
+        self.machine.intc.bind_line(line, cpu_id, vector)
+        self.data.irq_bindings[line] = (cpu_id, vector)
+
+    @sensitive
+    def disk_submit(self, cpu, req: "BlockRequest") -> None:
+        if not self.domain.is_driver_domain:
+            raise HypercallError(
+                f"domain {self.domain.domain_id} has no direct disk access")
+        # direct device access, but completion will arrive VMM-mediated
+        cpu.charge(cpu.cost.cyc_disk_submit)
+        self.machine.disk.submit(req)
+
+    @sensitive
+    def net_transmit(self, cpu, pkt: "Packet") -> None:
+        if not self.domain.is_driver_domain:
+            raise HypercallError(
+                f"domain {self.domain.domain_id} has no direct NIC access")
+        cpu.charge(cpu.cost.cyc_net_per_packet)
+        cpu.charge(cpu.cost.cyc_net_copy_per_kb * max(1, pkt.size_bytes // 1024))
+        # the TX-completion interrupt comes back VMM-mediated: event channel
+        # plus hypervisor delivery latency, the dominant per-packet tax
+        cpu.charge(cpu.cost.cyc_event_channel + cpu.cost.cyc_vmm_irq_latency)
+        self.machine.nic.transmit(pkt)
+
+    # ------------------------------------------------------------------
+
+    def _vcpu(self, cpu):
+        for vcpu in self.domain.vcpus:
+            if vcpu.vcpu_id == cpu.cpu_id:
+                return vcpu
+        return None

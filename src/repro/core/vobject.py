@@ -1,0 +1,193 @@
+"""Virtualization objects (VOes) — §4.2 and §5.3 of the paper.
+
+A VO groups *all* virtualization-sensitive code and data behind one
+interface: a function table (the methods below) plus a data table
+(:class:`VoData` — control registers, descriptor tables).  The guest kernel
+never touches sensitive hardware state directly; it calls through the VO
+installed by Mercury.  Relocating the OS between execution modes is then a
+single pointer swap — plus the state transfer/reload work in
+:mod:`repro.core.transfer` and :mod:`repro.core.reload`.
+
+Every function-table call is **reference counted** on entry and exit
+(§5.1.1): a mode switch may only commit when the count is zero, which
+guarantees no CPU is midway through mode-dependent code.  The
+:func:`sensitive` decorator implements the counting and also charges the
+pointer-indirection cost — the *entire* steady-state overhead Mercury adds
+in native mode (measured at <2% in §7.3, reproduced in Fig. 3/4 benches).
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import ConsistencyViolation
+
+if TYPE_CHECKING:
+    from repro.hw.cpu import Cpu
+    from repro.hw.devices import BlockRequest, Packet
+    from repro.hw.interrupts import Idt
+    from repro.hw.paging import AddressSpace, Pte
+
+
+@dataclass
+class VoData:
+    """The VO data table: global sensitive data (§5.3) — control-register
+    images and descriptor tables, kept per-mode so a switch can reload
+    them."""
+
+    idt: Optional["Idt"] = None
+    #: descriptor-privilege level of the kernel code/data segments: 0 in
+    #: native mode, 1 in virtual mode (§5.1.2 item 2)
+    kernel_segment_dpl: int = 0
+    #: interrupt line -> (cpu, vector) bindings this mode uses
+    irq_bindings: dict = field(default_factory=dict)
+
+
+def sensitive(fn):
+    """Mark a VO method as virtualization-sensitive code.
+
+    Wraps the method with entry/exit reference counting and charges the
+    function-table indirection cost to the issuing CPU.  The first
+    positional argument of every sensitive method is the CPU doing the work.
+    """
+
+    @functools.wraps(fn)
+    def wrapper(self: "VirtualizationObject", cpu: "Cpu", *args, **kwargs):
+        self.enter(cpu)
+        try:
+            return fn(self, cpu, *args, **kwargs)
+        finally:
+            self.exit(cpu)
+
+    wrapper.__sensitive__ = True
+    return wrapper
+
+
+class VirtualizationObject:
+    """Abstract VO: the unified interface of §4.2.
+
+    Subclasses provide the native-mode implementation (direct hardware
+    manipulation) and the virtual-mode implementation (hypercalls into the
+    attached VMM).  Methods are grouped exactly as §5.3 groups them:
+    sensitive CPU operations, sensitive memory operations, sensitive I/O
+    operations, and kernel entry/exit paths.
+    """
+
+    mode_name = "abstract"
+    #: True for paravirtual (de-privileged, VMM-mediated) implementations;
+    #: mode-dependent kernel paths (fault penalties, pin-on-restore) key
+    #: off this rather than string-matching mode_name
+    is_virtual = False
+
+    def __init__(self):
+        self.data = VoData()
+        self.refcount = 0
+        self.entries = 0          # lifetime count of sensitive-code entries
+        self._cost = None         # set on install
+
+    # -- reference counting (§5.1.1) ---------------------------------------
+
+    def enter(self, cpu: "Cpu") -> None:
+        cpu.charge(cpu.cost.cyc_vo_indirect)
+        self.refcount += 1
+        self.entries += 1
+
+    def exit(self, cpu: "Cpu") -> None:
+        if self.refcount <= 0:
+            raise ConsistencyViolation("VO refcount underflow")
+        self.refcount -= 1
+
+    def busy(self) -> bool:
+        """True while any CPU is executing inside this VO."""
+        return self.refcount != 0
+
+    # -- sensitive CPU operations -------------------------------------------
+
+    def write_cr3(self, cpu: "Cpu", pgd_frame: int) -> None:
+        raise NotImplementedError
+
+    def load_idt(self, cpu: "Cpu", idt: "Idt") -> None:
+        raise NotImplementedError
+
+    def set_segment_dpl(self, cpu: "Cpu", dpl: int) -> None:
+        raise NotImplementedError
+
+    def irq_disable(self, cpu: "Cpu") -> None:
+        raise NotImplementedError
+
+    def irq_enable(self, cpu: "Cpu") -> None:
+        raise NotImplementedError
+
+    def stack_switch(self, cpu: "Cpu", to_task) -> None:
+        """Switch kernel stacks during a context switch (under a VMM this
+        is the ``stack_switch`` hypercall — the VMM must know the stack to
+        push the next interrupt frame onto)."""
+        raise NotImplementedError
+
+    # -- kernel entry/exit paths ---------------------------------------------
+
+    def kernel_entry(self, cpu: "Cpu") -> None:
+        """User -> kernel transition (syscall/interrupt prologue)."""
+        raise NotImplementedError
+
+    def kernel_exit(self, cpu: "Cpu") -> None:
+        """Kernel -> user transition (IRET/sysexit epilogue)."""
+        raise NotImplementedError
+
+    def fault_entry(self, cpu: "Cpu") -> None:
+        """Hardware fault delivery into the kernel's fault handler."""
+        raise NotImplementedError
+
+    # -- sensitive memory operations -------------------------------------------
+
+    def set_pte(self, cpu: "Cpu", aspace: "AddressSpace", vaddr: int,
+                pte: "Pte") -> None:
+        raise NotImplementedError
+
+    def clear_pte(self, cpu: "Cpu", aspace: "AddressSpace", vaddr: int) -> None:
+        raise NotImplementedError
+
+    def update_pte_flags(self, cpu: "Cpu", aspace: "AddressSpace", vaddr: int,
+                         *, writable: Optional[bool] = None,
+                         present: Optional[bool] = None,
+                         cow: Optional[bool] = None) -> None:
+        raise NotImplementedError
+
+    def apply_pte_region(self, cpu: "Cpu", aspace: "AddressSpace",
+                         updates: list) -> None:
+        """Apply a batch of ``(vaddr, Pte-or-None)`` updates to one address
+        space.  Region paths (mmap populate, munmap) use this: a native
+        kernel just streams the stores; a para-virtual kernel folds them
+        into batched ``mmu_update`` multicalls."""
+        raise NotImplementedError
+
+    def new_address_space(self, cpu: "Cpu", aspace: "AddressSpace") -> None:
+        """Register a freshly-built address space (virtual mode: pin it)."""
+        raise NotImplementedError
+
+    def destroy_address_space(self, cpu: "Cpu", aspace: "AddressSpace") -> None:
+        raise NotImplementedError
+
+    def flush_tlb(self, cpu: "Cpu") -> None:
+        raise NotImplementedError
+
+    def invlpg(self, cpu: "Cpu", vaddr: int) -> None:
+        raise NotImplementedError
+
+    # -- sensitive I/O operations ------------------------------------------------
+
+    def bind_irq(self, cpu: "Cpu", line: str, cpu_id: int, vector: int) -> None:
+        raise NotImplementedError
+
+    def disk_submit(self, cpu: "Cpu", req: "BlockRequest") -> None:
+        raise NotImplementedError
+
+    def net_transmit(self, cpu: "Cpu", pkt: "Packet") -> None:
+        raise NotImplementedError
+
+    # ----------------------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} refcount={self.refcount} entries={self.entries}>"

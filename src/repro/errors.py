@@ -1,0 +1,182 @@
+"""Exception hierarchy for the Mercury reproduction.
+
+Every error raised by the simulator derives from :class:`ReproError` so that
+callers can catch simulator faults without masking programming errors.  The
+hierarchy mirrors the layering of the system: hardware faults, guest-OS
+faults, VMM faults and Mercury (self-virtualization) faults.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+# --------------------------------------------------------------------------
+# Hardware-level faults
+# --------------------------------------------------------------------------
+
+class HardwareError(ReproError):
+    """Base class for faults raised by the simulated hardware."""
+
+
+class GeneralProtectionFault(HardwareError):
+    """A privilege violation: executing a privileged operation from an
+    insufficiently privileged level, or loading an inconsistent segment
+    selector (the fault §5.1.2 of the paper guards against with the
+    segment-selector fixup stub)."""
+
+
+class PageFault(HardwareError):
+    """A memory access could not be translated or violated PTE permissions.
+
+    Carries enough information for the guest OS (or the VMM) to service the
+    fault: the faulting virtual address, whether the access was a write, and
+    whether the fault came from user mode.
+    """
+
+    def __init__(self, vaddr: int, write: bool, user: bool, message: str = ""):
+        super().__init__(message or f"page fault at {vaddr:#x} (write={write}, user={user})")
+        self.vaddr = vaddr
+        self.write = write
+        self.user = user
+
+
+class InvalidPhysicalAddress(HardwareError):
+    """An access referenced a frame outside installed physical memory."""
+
+
+class MachineCheck(HardwareError):
+    """Unrecoverable hardware error (used by failure-injection in the HPC
+    cluster scenario)."""
+
+
+class DeviceError(HardwareError):
+    """A simulated device rejected or failed an operation."""
+
+
+# --------------------------------------------------------------------------
+# Guest OS faults
+# --------------------------------------------------------------------------
+
+class GuestOSError(ReproError):
+    """Base class for guest-OS-level errors."""
+
+
+class NoSuchProcess(GuestOSError):
+    """A PID did not name a live task."""
+
+
+class OutOfMemory(GuestOSError):
+    """The kernel could not allocate frames or virtual address space."""
+
+
+class FileSystemError(GuestOSError):
+    """VFS/ext3-like filesystem error (missing file, bad offset, ...)."""
+
+
+class NetworkError(GuestOSError):
+    """Socket/network-stack error."""
+
+
+class SyscallError(GuestOSError):
+    """A system call failed; carries a Unix-style errno name."""
+
+    def __init__(self, errno: str, message: str = ""):
+        super().__init__(message or errno)
+        self.errno = errno
+
+
+class SignalDelivered(GuestOSError):
+    """A fault was resolved by running a registered signal handler; the
+    faulting operation is abandoned (the handler longjmp'd out, as
+    lmbench's fault handlers do)."""
+
+    def __init__(self, sig: int, vaddr: int = 0):
+        super().__init__(f"signal {sig} handled (fault at {vaddr:#x})")
+        self.sig = sig
+        self.vaddr = vaddr
+
+
+# --------------------------------------------------------------------------
+# VMM faults
+# --------------------------------------------------------------------------
+
+class VMMError(ReproError):
+    """Base class for hypervisor-level errors."""
+
+
+class HypercallError(VMMError):
+    """A hypercall was rejected (bad arguments, failed validation)."""
+
+
+class PageValidationError(VMMError):
+    """A page could not be validated/pinned as the requested type, e.g. a
+    would-be page-table page containing a writable mapping of another
+    page-table page, or a PTE pointing at a foreign domain's frame."""
+
+
+class DomainError(VMMError):
+    """Domain lifecycle error (bad domain id, double-destroy, ...)."""
+
+
+class GrantError(VMMError):
+    """Grant-table error (bad grant reference, revoked grant, ...)."""
+
+
+class RingError(VMMError):
+    """Shared-memory I/O ring protocol violation (overrun, bad index)."""
+
+
+# --------------------------------------------------------------------------
+# Mercury (self-virtualization) faults
+# --------------------------------------------------------------------------
+
+class MercuryError(ReproError):
+    """Base class for self-virtualization errors."""
+
+
+class ModeSwitchError(MercuryError):
+    """A mode switch could not be performed (illegal target mode,
+    inconsistent state, ...)."""
+
+
+class SwitchBusy(MercuryError):
+    """A mode switch could not commit because some CPU was executing inside
+    a virtualization object (non-zero reference count).  The switch engine
+    turns this into a retry via the 10 ms timer; it only escapes to callers
+    that asked for a non-blocking switch."""
+
+
+class RendezvousTimeout(MercuryError):
+    """The SMP rendezvous protocol did not gather all CPUs in time."""
+
+
+class ConsistencyViolation(MercuryError):
+    """An internal invariant check failed.  This should never escape in a
+    correct build; tests assert that specific misuse raises it."""
+
+
+# --------------------------------------------------------------------------
+# Scenario-level faults
+# --------------------------------------------------------------------------
+
+class ScenarioError(ReproError):
+    """Base class for usage-scenario errors (§6)."""
+
+
+class MigrationError(ScenarioError):
+    """Live migration failed or was aborted."""
+
+
+class CheckpointError(ScenarioError):
+    """Checkpoint/restore failure (corrupt image, wrong machine shape)."""
+
+
+class LiveUpdateError(ScenarioError):
+    """A live kernel update could not be applied or rolled back."""
+
+
+class HealingError(ScenarioError):
+    """Self-healing could not repair the detected anomaly."""

@@ -1,0 +1,19 @@
+"""A Linux-like guest operating system.
+
+The OS the workloads run on.  It talks to sensitive hardware state
+exclusively through the virtualization object Mercury installs
+(:mod:`repro.core.vobject`), which is what makes it relocatable between
+native and virtual mode at runtime.
+
+Subsystems: process management (:mod:`repro.guestos.process`), the
+scheduler (:mod:`repro.guestos.sched`), virtual memory with demand paging
+and COW (:mod:`repro.guestos.vmem`), syscall dispatch
+(:mod:`repro.guestos.syscalls`), a journaling filesystem
+(:mod:`repro.guestos.fs`), a TCP/UDP-lite network stack
+(:mod:`repro.guestos.net`), native drivers (:mod:`repro.guestos.drivers`)
+and para-virtual frontend drivers (:mod:`repro.guestos.splitio`).
+"""
+
+from repro.guestos.kernel import Kernel
+
+__all__ = ["Kernel"]

@@ -1,0 +1,199 @@
+"""Para-virtual frontend drivers (blkfront / netfront) and split-I/O wiring.
+
+DomainU guests have no direct device access: their block and network
+traffic crosses shared-memory rings to the backend drivers in the driver
+domain (§5.2).  The flow per request:
+
+    frontend: push request on ring -> event-channel notify
+    backend : pop request, map grant, drive the real device, push response
+    frontend: pop response on the completion event
+
+Every hop charges ring/copy/event/grant costs on the CPU, which is where
+domainU's I/O overhead in Fig. 3/4 (and its dbench *win*, via the backend
+write cache) comes from.
+
+:func:`connect_split_block` / :func:`connect_split_net` wire a guest kernel
+to a driver-domain kernel through a hypervisor; Mercury uses the same wiring
+when its self-virtualized OS hosts an unmodified guest (the M-U
+configuration), and re-creates it after a live migration (§5.2: frontends
+reconnect to the new host's backends).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import NetworkError, RingError
+from repro.hw.devices import Packet
+from repro.vmm.backend import BlkBack, BlkRingEntry, NetBack, NetRingEntry
+from repro.vmm.rings import IoRing
+
+if TYPE_CHECKING:
+    from repro.guestos.kernel import Kernel
+    from repro.hw.cpu import Cpu
+    from repro.vmm.hypervisor import Hypervisor
+
+
+class BlkFront:
+    """Block frontend: presents the kernel's block-driver interface on top
+    of a request ring to blkback."""
+
+    def __init__(self, kernel: "Kernel", ring: IoRing, notify_backend,
+                 grant_ref: Optional[int] = None):
+        self.kernel = kernel
+        self.ring = ring
+        self.notify_backend = notify_backend
+        self.grant_ref = grant_ref
+        self.requests = 0
+
+    def _roundtrip(self, cpu: "Cpu", entry: BlkRingEntry) -> BlkRingEntry:
+        cpu.charge(cpu.cost.cyc_ring_hop)
+        self.ring.push_request(entry)
+        self.notify_backend(cpu)          # backend kick runs synchronously
+        if not self.ring.has_responses():
+            raise RingError("blkback did not respond")
+        self.requests += 1
+        return self.ring.pop_response()
+
+    def read_block(self, cpu: "Cpu", block: int) -> object:
+        entry = BlkRingEntry(op="read", block=block, grant_ref=self.grant_ref,
+                             tag=self.kernel.owner_id)
+        return self._roundtrip(cpu, entry).result
+
+    def write_block(self, cpu: "Cpu", block: int, data: object) -> None:
+        entry = BlkRingEntry(op="write", block=block, data=data,
+                             grant_ref=self.grant_ref, tag=self.kernel.owner_id)
+        self._roundtrip(cpu, entry)
+
+    def write_blocks(self, cpu: "Cpu", blocks: list[tuple[int, object]]) -> None:
+        """Batch write: fill the ring, notify once, drain responses."""
+        i = 0
+        while i < len(blocks):
+            chunk = blocks[i:i + self.ring.free_request_slots()]
+            if not chunk:
+                raise RingError("blkfront ring wedged")
+            for block, data in chunk:
+                cpu.charge(cpu.cost.cyc_ring_hop)
+                self.ring.push_request(BlkRingEntry(
+                    op="write", block=block, data=data,
+                    grant_ref=self.grant_ref, tag=self.kernel.owner_id))
+            self.notify_backend(cpu)
+            while self.ring.has_responses():
+                self.ring.pop_response()
+                self.requests += 1
+            i += len(chunk)
+
+    def flush(self, cpu: "Cpu") -> None:
+        entry = BlkRingEntry(op="flush", block=0, tag=self.kernel.owner_id)
+        self._roundtrip(cpu, entry)
+
+    def irq(self, cpu: "Cpu", vector: int) -> None:
+        """Completion upcall — synchronous round trips consume responses
+        inline, so nothing pends here."""
+        cpu.charge(cpu.cost.cyc_event_channel)
+
+
+class NetFront:
+    """Network frontend: transmit over the tx ring, receive from the rx
+    ring fed by netback."""
+
+    def __init__(self, kernel: "Kernel", tx_ring: IoRing, rx_ring: IoRing,
+                 notify_backend):
+        self.kernel = kernel
+        self.tx_ring = tx_ring
+        self.rx_ring = rx_ring
+        self.notify_backend = notify_backend
+        self.tx = 0
+        self.rx = 0
+
+    def transmit(self, cpu: "Cpu", pkt: Packet) -> None:
+        cpu.charge(cpu.cost.cyc_ring_hop)
+        cpu.charge(cpu.cost.cyc_net_copy_per_kb * max(1, pkt.size_bytes // 1024))
+        # the frontend's notification must wake the driver domain's vcpu
+        cpu.charge(cpu.cost.cyc_guest_sched_latency)
+        self.tx_ring.push_request(NetRingEntry(pkt=pkt))
+        self.notify_backend(cpu)
+        while self.tx_ring.has_responses():
+            self.tx_ring.pop_response()
+        self.tx += 1
+
+    def rx_kick(self, cpu: "Cpu") -> int:
+        """Drain the rx ring into the guest's network stack."""
+        drained = 0
+        while self.rx_ring.has_requests():
+            entry: NetRingEntry = self.rx_ring.pop_request()
+            self.rx_ring.push_response(entry)
+            self.kernel.net_rx(cpu, entry.pkt)
+            drained += 1
+            self.rx += 1
+        return drained
+
+
+# ---------------------------------------------------------------------------
+# wiring helpers
+# ---------------------------------------------------------------------------
+
+def connect_split_block(guest: "Kernel", driver: "Kernel",
+                        vmm: "Hypervisor") -> tuple[BlkFront, BlkBack]:
+    """Connect ``guest``'s block layer to ``driver``'s disk via a ring."""
+    guest_dom = vmm.domains[guest.owner_id]
+    driver_dom = vmm.domains[driver.owner_id]
+    cpu = driver.boot_cpu
+
+    ring = IoRing(size=32)
+    front_ch = vmm.events.alloc(guest_dom.domain_id)
+    back_ch = vmm.events.alloc(driver_dom.domain_id)
+    vmm.events.connect(front_ch, back_ch)
+
+    # one persistent granted buffer page for request payloads
+    buf_frame = guest.machine.memory.alloc(guest.owner_id)
+    grant = vmm.grants.grant(guest_dom.domain_id, buf_frame,
+                             driver_dom.domain_id)
+
+    back = BlkBack(
+        vmm, driver_dom, ring,
+        notify_frontend=lambda c: vmm.events.send(c, back_ch),
+        submit=lambda c, req: driver.vo.disk_submit(c, req))
+    back_ch.handler = None  # backend notifies frontend; nothing pends
+    front_ch.handler = None
+
+    front = BlkFront(
+        guest, ring,
+        notify_backend=lambda c: (vmm.events.send(c, front_ch),
+                                  back.kick(c))[0],
+        grant_ref=grant.ref)
+    guest.install_block_driver(front)
+    return front, back
+
+
+def connect_split_net(guest: "Kernel", driver: "Kernel", vmm: "Hypervisor",
+                      guest_addr: str) -> tuple[NetFront, NetBack]:
+    """Connect ``guest``'s network stack to ``driver``'s NIC.
+
+    ``guest_addr`` is the guest's address on the wire; the driver domain
+    routes inbound frames for it up through netback."""
+    guest_dom = vmm.domains[guest.owner_id]
+    driver_dom = vmm.domains[driver.owner_id]
+
+    tx_ring = IoRing(size=64)
+    rx_ring = IoRing(size=64)
+    front_ch = vmm.events.alloc(guest_dom.domain_id)
+    back_ch = vmm.events.alloc(driver_dom.domain_id)
+    vmm.events.connect(front_ch, back_ch)
+
+    back = NetBack(
+        vmm, driver_dom, tx_ring, rx_ring,
+        notify_frontend=lambda c: vmm.events.send(c, back_ch),
+        transmit=lambda c, pkt: driver.vo.net_transmit(c, pkt))
+
+    front = NetFront(
+        guest, tx_ring, rx_ring,
+        notify_backend=lambda c: (vmm.events.send(c, front_ch),
+                                  back.kick_tx(c))[0])
+
+    # deliver the rx ring into the guest when netback forwards
+    back.notify_frontend = lambda c: front.rx_kick(c)
+
+    guest.install_net_driver(front, addr=guest_addr)
+    driver.route_table[guest_addr] = lambda c, pkt: back.forward_rx(c, pkt)
+    return front, back

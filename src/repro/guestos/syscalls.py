@@ -1,0 +1,202 @@
+"""The system-call table.
+
+Workloads enter the kernel exclusively through
+:meth:`repro.guestos.kernel.Kernel.syscall`, which dispatches here.  Each
+handler receives ``(kernel, cpu, task, *args)``.  The entry/exit costs (and
+their native/virtual difference) are charged by the kernel's VO before and
+after dispatch, so this table contains only the service logic.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import SyscallError
+
+if TYPE_CHECKING:
+    from repro.guestos.kernel import Kernel
+    from repro.guestos.process import Task
+    from repro.hw.cpu import Cpu
+
+
+def sys_fork(kernel: "Kernel", cpu: "Cpu", task: "Task") -> int:
+    child = kernel.procs.fork(cpu, task)
+    return child.pid
+
+
+def sys_exec(kernel: "Kernel", cpu: "Cpu", task: "Task", name: str,
+             image_pages: int) -> int:
+    kernel.procs.exec(cpu, task, name, image_pages)
+    return 0
+
+
+def sys_exit(kernel: "Kernel", cpu: "Cpu", task: "Task", code: int) -> int:
+    kernel.procs.exit(cpu, task, code)
+    return 0
+
+
+def sys_wait(kernel: "Kernel", cpu: "Cpu", task: "Task") -> tuple[int, int]:
+    return kernel.procs.wait(cpu, task)
+
+
+def sys_mmap(kernel: "Kernel", cpu: "Cpu", task: "Task", length: int,
+             populate: bool = False, writable: bool = True) -> int:
+    return kernel.vmem.mmap(cpu, task, length, populate=populate,
+                            writable=writable)
+
+
+def sys_munmap(kernel: "Kernel", cpu: "Cpu", task: "Task", base: int,
+               length: int) -> int:
+    kernel.vmem.munmap(cpu, task, base, length)
+    return 0
+
+
+def sys_mprotect(kernel: "Kernel", cpu: "Cpu", task: "Task", base: int,
+                 length: int, writable: bool) -> int:
+    kernel.vmem.mprotect(cpu, task, base, length, writable)
+    return 0
+
+
+def sys_brk(kernel: "Kernel", cpu: "Cpu", task: "Task", new_brk: int) -> int:
+    return kernel.vmem.brk(cpu, task, new_brk)
+
+
+def sys_sched_yield(kernel: "Kernel", cpu: "Cpu", task: "Task") -> int:
+    kernel.scheduler.yield_to_next(cpu)
+    return 0
+
+
+def sys_getpid(kernel: "Kernel", cpu: "Cpu", task: "Task") -> int:
+    return task.pid
+
+
+# -- filesystem --------------------------------------------------------------
+
+def sys_open(kernel: "Kernel", cpu: "Cpu", task: "Task", path: str,
+             create: bool = False) -> int:
+    kernel.fs.open_check(cpu, path, create)
+    fd = task.next_fd
+    task.next_fd += 1
+    task.fds[fd] = [path, 0]
+    return fd
+
+
+def sys_close(kernel: "Kernel", cpu: "Cpu", task: "Task", fd: int) -> int:
+    if fd in task.pipe_fds:
+        kernel.ipc.close_pipe_fd(task, fd)
+        return 0
+    if fd not in task.fds:
+        raise SyscallError("EBADF", f"close of bad fd {fd}")
+    del task.fds[fd]
+    return 0
+
+
+def sys_read(kernel: "Kernel", cpu: "Cpu", task: "Task", fd: int,
+             nbytes: int = 0) -> object:
+    if fd in task.pipe_fds:
+        return kernel.ipc.pipe_read(cpu, task, fd)
+    path, offset = _fd(task, fd)
+    data, advanced = kernel.fs.read(cpu, path, offset, nbytes)
+    task.fds[fd][1] = offset + advanced
+    return data
+
+
+def sys_write(kernel: "Kernel", cpu: "Cpu", task: "Task", fd: int,
+              data: object, nbytes: int) -> int:
+    if fd in task.pipe_fds:
+        return kernel.ipc.pipe_write(cpu, task, fd, data, nbytes)
+    path, offset = _fd(task, fd)
+    advanced = kernel.fs.write(cpu, path, offset, data, nbytes)
+    task.fds[fd][1] = offset + advanced
+    return advanced
+
+
+def sys_pipe(kernel: "Kernel", cpu: "Cpu", task: "Task") -> tuple[int, int]:
+    return kernel.ipc.create_pipe(cpu, task)
+
+
+def sys_sigaction(kernel: "Kernel", cpu: "Cpu", task: "Task", sig: int,
+                  handler) -> int:
+    kernel.ipc.register_handler(task, sig, handler)
+    return 0
+
+
+def sys_kill(kernel: "Kernel", cpu: "Cpu", task: "Task", pid: int,
+             sig: int) -> int:
+    kernel.ipc.kill(cpu, task, pid, sig)
+    return 0
+
+
+def sys_fsync(kernel: "Kernel", cpu: "Cpu", task: "Task", fd: int) -> int:
+    path, _ = _fd(task, fd)
+    kernel.fs.fsync(cpu, path)
+    return 0
+
+
+def sys_unlink(kernel: "Kernel", cpu: "Cpu", task: "Task", path: str) -> int:
+    kernel.fs.unlink(cpu, path)
+    return 0
+
+
+def sys_stat(kernel: "Kernel", cpu: "Cpu", task: "Task", path: str) -> dict:
+    return kernel.fs.stat(cpu, path)
+
+
+def sys_lseek(kernel: "Kernel", cpu: "Cpu", task: "Task", fd: int,
+              offset: int) -> int:
+    _fd(task, fd)
+    task.fds[fd][1] = offset
+    return offset
+
+
+# -- network ------------------------------------------------------------------
+
+def sys_socket(kernel: "Kernel", cpu: "Cpu", task: "Task", proto: str) -> int:
+    return kernel.net.socket(cpu, proto)
+
+
+def sys_sendto(kernel: "Kernel", cpu: "Cpu", task: "Task", sock: int,
+               dst: str, nbytes: int, payload: object = None) -> int:
+    return kernel.net.sendto(cpu, sock, dst, nbytes, payload)
+
+
+def sys_recvfrom(kernel: "Kernel", cpu: "Cpu", task: "Task", sock: int,
+                 block: bool = True) -> object:
+    return kernel.net.recvfrom(cpu, sock, block=block)
+
+
+def _fd(task: "Task", fd: int) -> tuple[str, int]:
+    try:
+        path, offset = task.fds[fd]
+    except KeyError:
+        raise SyscallError("EBADF", f"bad fd {fd}") from None
+    return path, offset
+
+
+#: name -> handler
+SYSCALL_TABLE: dict[str, Callable] = {
+    "fork": sys_fork,
+    "exec": sys_exec,
+    "exit": sys_exit,
+    "wait": sys_wait,
+    "mmap": sys_mmap,
+    "munmap": sys_munmap,
+    "mprotect": sys_mprotect,
+    "brk": sys_brk,
+    "sched_yield": sys_sched_yield,
+    "getpid": sys_getpid,
+    "open": sys_open,
+    "close": sys_close,
+    "read": sys_read,
+    "write": sys_write,
+    "pipe": sys_pipe,
+    "sigaction": sys_sigaction,
+    "kill": sys_kill,
+    "fsync": sys_fsync,
+    "unlink": sys_unlink,
+    "stat": sys_stat,
+    "lseek": sys_lseek,
+    "socket": sys_socket,
+    "sendto": sys_sendto,
+    "recvfrom": sys_recvfrom,
+}

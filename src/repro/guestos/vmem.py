@@ -1,0 +1,315 @@
+"""Virtual memory: vm areas, demand paging, copy-on-write, mmap.
+
+The fault path here is the one lmbench's "Page Fault" and "Prot Fault" rows
+measure, and mmap/munmap is the "Mmap LT" row.  All PTE manipulation goes
+through the installed VO; frame refcounts (for COW sharing) are the
+kernel's own bookkeeping and mode-independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import PageFault, SyscallError
+from repro.hw.paging import Pte
+from repro.params import PAGE_SIZE
+
+if TYPE_CHECKING:
+    from repro.guestos.kernel import Kernel
+    from repro.guestos.process import Task
+    from repro.hw.cpu import Cpu
+
+#: base of the mmap area in each address space
+MMAP_BASE = 0x4000_0000
+#: base of the text/data image
+IMAGE_BASE = 0x0040_0000
+
+
+@dataclass
+class Vma:
+    """One virtual memory area."""
+
+    start: int
+    end: int                  # exclusive
+    writable: bool = True
+    user: bool = True
+    name: str = "anon"
+
+    def contains(self, vaddr: int) -> bool:
+        return self.start <= vaddr < self.end
+
+    @property
+    def pages(self) -> int:
+        return (self.end - self.start) // PAGE_SIZE
+
+    def clone(self) -> "Vma":
+        return replace(self)
+
+
+class VirtualMemory:
+    """The kernel's VM subsystem."""
+
+    def __init__(self, kernel: "Kernel"):
+        self.kernel = kernel
+        #: frame -> share count for COW (only frames mapped by tasks)
+        self._frame_refs: dict[int, int] = {}
+        self.minor_faults = 0
+        self.cow_breaks = 0
+        self.prot_faults = 0
+        self.oom_kills = 0
+
+    # ------------------------------------------------------------------
+    # OOM handling
+    # ------------------------------------------------------------------
+
+    def _alloc_or_reclaim(self, cpu: "Cpu", task: "Task") -> int:
+        """Allocate a frame; under memory pressure, run the OOM killer:
+        sacrifice the largest *other* task and retry (Linux's badness
+        heuristic, simplified to resident size)."""
+        from repro.errors import OutOfMemory
+        mem = self.kernel.machine.memory
+        while True:
+            try:
+                return mem.alloc(self.kernel.owner_id)
+            except OutOfMemory:
+                victim = self._pick_oom_victim(exclude=task)
+                if victim is None:
+                    raise
+                cpu.charge(cpu.cost.cyc_fault_handler_fixed)
+                self.oom_kills += 1
+                self.kernel.procs.exit(cpu, victim, 137)  # 128 + SIGKILL
+
+    def _pick_oom_victim(self, exclude) -> "Task":
+        from repro.guestos.process import TaskState
+        candidates = [
+            t for t in self.kernel.procs.live_tasks()
+            if t is not exclude and t is not self.kernel.scheduler.current
+            and t.pid != 1  # init is unkillable
+        ]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda t: t.aspace.mapped_count())
+
+    # ------------------------------------------------------------------
+    # frame sharing bookkeeping
+    # ------------------------------------------------------------------
+
+    def claim_frame(self, frame: int) -> None:
+        self._frame_refs[frame] = 1
+
+    def share_frame(self, frame: int) -> None:
+        self._frame_refs[frame] = self._frame_refs.get(frame, 1) + 1
+
+    def release_frame(self, cpu: "Cpu", frame: int) -> None:
+        refs = self._frame_refs.get(frame, 1) - 1
+        if refs <= 0:
+            self._frame_refs.pop(frame, None)
+            self.kernel.machine.memory.free(frame)
+        else:
+            self._frame_refs[frame] = refs
+
+    def frame_refs(self, frame: int) -> int:
+        return self._frame_refs.get(frame, 0)
+
+    # ------------------------------------------------------------------
+    # mapping
+    # ------------------------------------------------------------------
+
+    def map_image(self, cpu: "Cpu", task: "Task", pages: int) -> None:
+        """Map and populate a process image (text+data+stack), as exec
+        does.  Populated eagerly — image pages are read from the (cached)
+        executable, not demand-zeroed."""
+        vma = Vma(IMAGE_BASE, IMAGE_BASE + pages * PAGE_SIZE, name="image")
+        task.vmas.append(vma)
+        mem = self.kernel.machine.memory
+        for i in range(pages):
+            frame = mem.alloc(self.kernel.owner_id)
+            cpu.charge(cpu.cost.cyc_page_alloc)
+            # copying the image page from the (warm) page cache
+            cpu.charge(cpu.cost.cyc_mem_touch_per_kb * 4)
+            self.claim_frame(frame)
+            self.kernel.vo.set_pte(cpu, task.aspace,
+                                   vma.start + i * PAGE_SIZE, Pte(frame=frame))
+
+    def mmap(self, cpu: "Cpu", task: "Task", length: int, *,
+             writable: bool = True, populate: bool = False,
+             name: str = "anon") -> int:
+        """Create a new anonymous mapping; returns its base address."""
+        if length <= 0:
+            raise SyscallError("EINVAL", "mmap length must be positive")
+        pages = (length + PAGE_SIZE - 1) // PAGE_SIZE
+        base = self._find_hole(task, pages)
+        vma = Vma(base, base + pages * PAGE_SIZE, writable=writable, name=name)
+        task.vmas.append(vma)
+        if populate:
+            mem = self.kernel.machine.memory
+            updates = []
+            for i in range(pages):
+                frame = mem.alloc(self.kernel.owner_id)
+                cpu.charge(cpu.cost.cyc_page_alloc)
+                # MAP_POPULATE zeroes/copies the page in
+                cpu.charge(cpu.cost.cyc_mem_touch_per_kb * 4)
+                self.claim_frame(frame)
+                updates.append((base + i * PAGE_SIZE,
+                                Pte(frame=frame, writable=writable)))
+            self.kernel.vo.apply_pte_region(cpu, task.aspace, updates)
+        return base
+
+    def munmap(self, cpu: "Cpu", task: "Task", base: int, length: int) -> None:
+        pages = (length + PAGE_SIZE - 1) // PAGE_SIZE
+        end = base + pages * PAGE_SIZE
+        vma = self._vma_at(task, base)
+        if vma is None or vma.start != base or vma.end != end:
+            raise SyscallError("EINVAL", f"munmap of unmapped range {base:#x}")
+        task.vmas.remove(vma)
+        updates = []
+        freed = []
+        for i in range(pages):
+            vaddr = base + i * PAGE_SIZE
+            pte = task.aspace.get_pte(vaddr)
+            if pte is not None and pte.present:
+                updates.append((vaddr, None))
+                freed.append(pte.frame)
+        self.kernel.vo.apply_pte_region(cpu, task.aspace, updates)
+        for frame in freed:
+            self.release_frame(cpu, frame)
+
+    def brk(self, cpu: "Cpu", task: "Task", new_brk: int) -> int:
+        """Grow (only) the heap; pages appear on demand."""
+        if new_brk <= task.brk:
+            return task.brk
+        vma = Vma(task.brk, new_brk, name="heap")
+        task.vmas.append(vma)
+        task.brk = new_brk
+        return new_brk
+
+    # ------------------------------------------------------------------
+    # memory access + fault handling
+    # ------------------------------------------------------------------
+
+    def access(self, cpu: "Cpu", task: "Task", vaddr: int, *,
+               write: bool) -> int:
+        """One user memory access: TLB, hardware walk, fault service.
+
+        Returns the frame backing the access."""
+        vpn = vaddr // PAGE_SIZE
+        hit = cpu.tlb.lookup(vpn)
+        if hit is not None and (not write or hit[1]):
+            return hit[0]
+        while True:
+            try:
+                pte = task.aspace.walk(vaddr, write=write, user=True)
+                cpu.charge(cpu.cost.cyc_tlb_refill_per_page)
+                cpu.tlb.fill(vpn, pte.frame, pte.writable)
+                return pte.frame
+            except PageFault as fault:
+                self.handle_fault(cpu, task, fault)
+
+    def handle_fault(self, cpu: "Cpu", task: "Task", fault: PageFault) -> None:
+        """The kernel page-fault handler (demand paging, COW, protection)."""
+        kernel = self.kernel
+        kernel.vo.fault_entry(cpu)
+        cpu.charge(cpu.cost.cyc_fault_handler_fixed)
+        if kernel.machine.config.num_cpus > 1:
+            cpu.charge(cpu.cost.cyc_smp_fault_extra)  # mmap_sem contention
+        vaddr = fault.vaddr & ~(PAGE_SIZE - 1)
+        vma = self._vma_at(task, vaddr)
+        if vma is None:
+            self.prot_faults += 1
+            kernel.vo.kernel_exit(cpu)
+            self._sigsegv(cpu, task, fault.vaddr,
+                          f"segfault at {fault.vaddr:#x}")
+
+        pte = task.aspace.get_pte(vaddr)
+        if pte is not None and pte.present and fault.write and pte.cow:
+            self._break_cow(cpu, task, vaddr, pte)
+        elif pte is not None and pte.present and fault.write and not pte.writable:
+            # genuine protection fault (mprotect'd page): deliver SIGSEGV
+            self.prot_faults += 1
+            kernel.vo.kernel_exit(cpu)
+            self._sigsegv(cpu, task, fault.vaddr,
+                          f"write to protected page {vaddr:#x}")
+        elif pte is None or not pte.present:
+            self._demand_page(cpu, task, vaddr, vma)
+        kernel.vo.kernel_exit(cpu)
+
+    def _demand_page(self, cpu: "Cpu", task: "Task", vaddr: int, vma: Vma) -> None:
+        mem = self.kernel.machine.memory
+        frame = self._alloc_or_reclaim(cpu, task)
+        cpu.charge(cpu.cost.cyc_page_alloc)
+        # zeroing the new page: 4 KiB of memory touch
+        cpu.charge(cpu.cost.cyc_mem_touch_per_kb * 4)
+        if self.kernel.vo.is_virtual:
+            # secondary cache/iTLB damage of a VMM-mediated fault fixup
+            cpu.charge(cpu.cost.cyc_virt_fault_penalty)
+        self.claim_frame(frame)
+        self.kernel.vo.set_pte(cpu, task.aspace, vaddr,
+                               Pte(frame=frame, writable=vma.writable))
+        self.minor_faults += 1
+
+    def _break_cow(self, cpu: "Cpu", task: "Task", vaddr: int, pte: Pte) -> None:
+        mem = self.kernel.machine.memory
+        if self.kernel.vo.is_virtual:
+            cpu.charge(cpu.cost.cyc_virt_fault_penalty)
+        if self.frame_refs(pte.frame) > 1:
+            new_frame = mem.alloc(self.kernel.owner_id)
+            cpu.charge(cpu.cost.cyc_page_alloc)
+            cpu.charge(cpu.cost.cyc_cow_copy_page)
+            content = mem.read(pte.frame) if mem.owner_of(pte.frame) >= 0 else None
+            if content is not None:
+                mem.write(new_frame, content)
+            self.claim_frame(new_frame)
+            self.release_frame(cpu, pte.frame)
+            self.kernel.vo.set_pte(cpu, task.aspace, vaddr,
+                                   Pte(frame=new_frame, writable=True))
+        else:
+            # last reference: just make it writable again
+            self.kernel.vo.update_pte_flags(cpu, task.aspace, vaddr,
+                                            writable=True, cow=False)
+        self.cow_breaks += 1
+
+    def _sigsegv(self, cpu: "Cpu", task: "Task", vaddr: int,
+                 message: str) -> None:
+        """Deliver SIGSEGV: a registered handler runs (and the faulting
+        access is abandoned, as via longjmp); otherwise the default action
+        surfaces as the classic SyscallError."""
+        from repro.errors import SignalDelivered
+        from repro.guestos.ipc import SIGSEGV
+        if self.kernel.ipc.deliver(cpu, task, SIGSEGV, info=vaddr):
+            raise SignalDelivered(SIGSEGV, vaddr)
+        raise SyscallError("SIGSEGV", message)
+
+    def mprotect(self, cpu: "Cpu", task: "Task", base: int, length: int,
+                 writable: bool) -> None:
+        pages = (length + PAGE_SIZE - 1) // PAGE_SIZE
+        vma = self._vma_at(task, base)
+        if vma is None:
+            raise SyscallError("EINVAL", f"mprotect of unmapped {base:#x}")
+        vma.writable = writable
+        for i in range(pages):
+            vaddr = base + i * PAGE_SIZE
+            pte = task.aspace.get_pte(vaddr)
+            if pte is not None and pte.present:
+                self.kernel.vo.update_pte_flags(cpu, task.aspace, vaddr,
+                                                writable=writable)
+
+    # ------------------------------------------------------------------
+
+    def _vma_at(self, task: "Task", vaddr: int) -> Optional[Vma]:
+        for vma in task.vmas:
+            if vma.contains(vaddr):
+                return vma
+        return None
+
+    def _find_hole(self, task: "Task", pages: int) -> int:
+        """First-fit search in the mmap area."""
+        base = MMAP_BASE
+        need = pages * PAGE_SIZE
+        occupied = sorted((v.start, v.end) for v in task.vmas
+                          if v.start >= MMAP_BASE)
+        for start, end in occupied:
+            if base + need <= start:
+                return base
+            base = max(base, end)
+        return base

@@ -1,0 +1,78 @@
+"""Global simulated clock and timer event queue.
+
+The clock counts **cycles** of the (single) crystal shared by all CPUs.
+CPUs charge work to the clock; devices and the kernel schedule timer events
+at absolute cycle deadlines.  Events fire when the machine polls
+(:meth:`Clock.run_due`) — mirroring real hardware, where a raised interrupt
+line is only serviced when the CPU checks for interrupts.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+
+class Clock:
+    """Monotonic cycle counter plus a deadline-ordered event queue."""
+
+    def __init__(self, freq_mhz: int = 3000):
+        self.freq_mhz = freq_mhz
+        self.cycles: int = 0
+        self._events: list[tuple[int, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+
+    # -- time ------------------------------------------------------------
+
+    def advance(self, cycles: int) -> None:
+        """Advance simulated time by ``cycles`` (>= 0)."""
+        if cycles < 0:
+            raise ValueError(f"cannot advance clock by {cycles} cycles")
+        self.cycles += int(cycles)
+
+    def advance_us(self, us: float) -> None:
+        self.advance(int(us * self.freq_mhz))
+
+    def now_us(self) -> float:
+        """Current simulated time in microseconds."""
+        return self.cycles / self.freq_mhz
+
+    def now_ms(self) -> float:
+        return self.cycles / (self.freq_mhz * 1000.0)
+
+    # -- timer events ------------------------------------------------------
+
+    def schedule(self, delay_cycles: int, fn: Callable[[], None]) -> None:
+        """Arrange for ``fn()`` to run once ``delay_cycles`` from now have
+        elapsed *and* the machine polls for due events."""
+        deadline = self.cycles + max(0, int(delay_cycles))
+        heapq.heappush(self._events, (deadline, next(self._counter), fn))
+
+    def schedule_us(self, delay_us: float, fn: Callable[[], None]) -> None:
+        self.schedule(int(delay_us * self.freq_mhz), fn)
+
+    def run_due(self) -> int:
+        """Fire every event whose deadline has passed; return how many ran."""
+        ran = 0
+        while self._events and self._events[0][0] <= self.cycles:
+            _, _, fn = heapq.heappop(self._events)
+            fn()
+            ran += 1
+        return ran
+
+    def next_deadline(self) -> int | None:
+        """Deadline of the earliest pending event, or None."""
+        return self._events[0][0] if self._events else None
+
+    def drain_until_idle(self, max_events: int = 100_000) -> int:
+        """Advance time to each pending deadline in turn, firing events,
+        until the queue is empty.  Used by scenario drivers to let timers
+        (e.g. Mercury's 10 ms switch-retry timer) make progress."""
+        ran = 0
+        while self._events and ran < max_events:
+            deadline = self._events[0][0]
+            if deadline > self.cycles:
+                self.cycles = deadline
+            ran += self.run_due()
+        return ran

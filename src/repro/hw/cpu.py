@@ -1,0 +1,164 @@
+"""Simulated CPU: privilege levels, control registers, descriptor tables.
+
+Each :class:`Cpu` carries the architectural state a mode switch must
+manipulate (§3.2, §5.1.3 of the paper): the current privilege level, the
+page-table base register (CR3), the interrupt flag, the IDT/GDT/LDT base
+registers, and a per-CPU TSC readable with :meth:`rdtsc` (the paper measures
+mode-switch time with RDTSC, §7.4).
+
+Privileged accesses are checked: touching CR3/IDT/GDT or executing a
+privileged instruction from a level below the required one raises
+:class:`~repro.errors.GeneralProtectionFault` — exactly the mechanism a VMM
+relies on to intercept a de-privileged guest.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.errors import GeneralProtectionFault
+from repro.hw.tlb import Tlb
+
+if TYPE_CHECKING:
+    from repro.hw.machine import Machine
+
+
+class PrivilegeLevel(enum.IntEnum):
+    """x86-style rings.  The VMM and a native kernel run at PL0; a
+    de-privileged (virtualized) kernel runs at PL1; user code at PL3."""
+
+    PL0 = 0
+    PL1 = 1
+    PL3 = 3
+
+
+class SegmentDescriptor:
+    """A (simplified) GDT entry: just the descriptor privilege level and a
+    tag.  The paper's §5.1.2 stack fixup exists because selectors naming
+    these descriptors get cached on interrupt stacks."""
+
+    __slots__ = ("name", "dpl")
+
+    def __init__(self, name: str, dpl: int):
+        self.name = name
+        self.dpl = dpl
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SegmentDescriptor({self.name!r}, dpl={self.dpl})"
+
+
+class Cpu:
+    """One simulated processor core."""
+
+    def __init__(self, cpu_id: int, machine: "Machine"):
+        self.cpu_id = cpu_id
+        self.machine = machine
+        self.clock = machine.clock
+        self.cost = machine.config.cost
+
+        # Architectural state --------------------------------------------
+        self.pl: PrivilegeLevel = PrivilegeLevel.PL0  # boot in kernel mode
+        self.cr3: Optional[int] = None   # frame number of the active PGD
+        self.interrupts_enabled: bool = True
+        self.idt_base: Optional[object] = None  # the installed IDT object
+        self.gdt: dict[int, SegmentDescriptor] = {}
+        self.ldt: dict[int, SegmentDescriptor] = {}
+        self.tlb = Tlb(capacity=64)
+        self._tsc_offset = 0
+
+        # The privilege level required for privileged operations.  On bare
+        # hardware this is PL0.  It never changes; what changes is the PL
+        # the *kernel* runs at.
+        self._priv_required = PrivilegeLevel.PL0
+
+        # Interception hook: when a VMM is active it registers a callback
+        # that receives privileged-operation traps from lower-privileged
+        # code instead of the hardware raising a fault to nobody.
+        self.trap_handler: Optional[Callable[["Cpu", str, tuple], object]] = None
+
+    # -- time / cost -------------------------------------------------------
+
+    def charge(self, cycles: int) -> None:
+        """Account ``cycles`` of work on this CPU (advances global time)."""
+        self.clock.advance(cycles)
+
+    def rdtsc(self) -> int:
+        """Read the time-stamp counter (non-privileged, like real RDTSC)."""
+        return self.clock.cycles + self._tsc_offset
+
+    # -- privilege ----------------------------------------------------------
+
+    def check_privilege(self, what: str) -> None:
+        """Raise GP# if the current PL may not perform ``what``."""
+        if self.pl > self._priv_required:
+            raise GeneralProtectionFault(
+                f"cpu{self.cpu_id}: {what} attempted at PL{int(self.pl)}"
+            )
+
+    def privileged_op(self, what: str, *args) -> object:
+        """Execute a privileged instruction.
+
+        At PL0 it executes directly (charging the native cost).  At a lower
+        privilege level the operation traps: if a VMM installed a trap
+        handler it emulates the instruction (charging trap+emulate costs);
+        otherwise the fault is architectural and propagates.
+        """
+        if self.pl <= self._priv_required:
+            self.charge(self.cost.cyc_privop_native)
+            return None
+        if self.trap_handler is not None:
+            self.charge(self.cost.cyc_trap_roundtrip)
+            return self.trap_handler(self, what, args)
+        raise GeneralProtectionFault(
+            f"cpu{self.cpu_id}: {what} trapped at PL{int(self.pl)} with no VMM"
+        )
+
+    # -- control registers ---------------------------------------------------
+
+    def write_cr3(self, pgd_frame: int) -> None:
+        """Load the page-table base.  Privileged; flushes the TLB."""
+        self.check_privilege("write_cr3")
+        self.charge(self.cost.cyc_cr3_write)
+        self.cr3 = pgd_frame
+        self.tlb.flush()
+
+    def load_idt(self, idt: object) -> None:
+        self.check_privilege("lidt")
+        self.charge(self.cost.cyc_privop_native)
+        self.idt_base = idt
+
+    def load_gdt(self, gdt: dict[int, SegmentDescriptor]) -> None:
+        self.check_privilege("lgdt")
+        self.charge(self.cost.cyc_privop_native)
+        self.gdt = gdt
+
+    def load_ldt(self, ldt: dict[int, SegmentDescriptor]) -> None:
+        self.check_privilege("lldt")
+        self.charge(self.cost.cyc_privop_native)
+        self.ldt = ldt
+
+    def cli(self) -> None:
+        self.check_privilege("cli")
+        self.interrupts_enabled = False
+
+    def sti(self) -> None:
+        self.check_privilege("sti")
+        self.interrupts_enabled = True
+
+    def set_privilege(self, pl: PrivilegeLevel) -> None:
+        """Change the running privilege level.
+
+        Real hardware only changes PL through gates/IRET; the simulator
+        exposes it as one operation used by kernel entry/exit paths and by
+        Mercury's mode-switch interrupt (which edits the PL in the saved
+        interrupt frame before returning — §5.1.3)."""
+        self.pl = pl
+
+    # -- helpers -------------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Cpu(id={self.cpu_id}, pl={int(self.pl)}, cr3={self.cr3}, "
+            f"if={self.interrupts_enabled})"
+        )

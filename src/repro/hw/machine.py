@@ -1,0 +1,78 @@
+"""The composed machine: CPUs + memory + interrupt controller + devices.
+
+One :class:`Machine` is one physical box.  Scenario code (live migration,
+HPC cluster) builds several and links their NICs; linked machines share a
+clock so end-to-end timings stay coherent.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import HardwareError
+from repro.hw.clock import Clock
+from repro.hw.cpu import Cpu
+from repro.hw.devices import BlockDevice, Link, Nic, TimerDevice
+from repro.hw.interrupts import InterruptController
+from repro.hw.memory import PhysicalMemory
+from repro.params import MachineConfig
+
+
+class Machine:
+    """One simulated physical machine."""
+
+    _next_id = 0
+
+    def __init__(self, config: Optional[MachineConfig] = None,
+                 clock: Optional[Clock] = None, name: str = ""):
+        self.config = config or MachineConfig()
+        self.name = name or f"machine{Machine._next_id}"
+        Machine._next_id += 1
+        self.clock = clock or Clock(freq_mhz=self.config.cost.freq_mhz)
+        if self.clock.freq_mhz != self.config.cost.freq_mhz:
+            raise HardwareError("shared clock frequency mismatch")
+        self.memory = PhysicalMemory(self.config.num_frames)
+        self.intc = InterruptController(self)
+        self.cpus = [Cpu(i, self) for i in range(self.config.num_cpus)]
+        self.disk = BlockDevice(self, name="sda")
+        self.nic = Nic(self, name="eth0", addr=f"10.0.0.{Machine._next_id}")
+        self.timer = TimerDevice(self, hz=self.config.timer_hz)
+        #: set by scenario code when the box "fails" (machine check)
+        self.failed = False
+
+    @property
+    def boot_cpu(self) -> Cpu:
+        return self.cpus[0]
+
+    def link_to(self, other: "Machine") -> Link:
+        """Wire this machine's NIC to another's.  Both must share a clock;
+        construct the second machine with ``clock=first.clock``."""
+        if other.clock is not self.clock:
+            raise HardwareError(
+                "linked machines must share a Clock (pass clock= at construction)")
+        return Link(self.nic, other.nic)
+
+    def poll(self) -> int:
+        """Fire due timer/device events, then deliver pending interrupts on
+        every CPU.  Called by the guest OS at preemption points."""
+        fired = self.clock.run_due()
+        delivered = 0
+        for cpu in self.cpus:
+            delivered += self.intc.deliver_pending(cpu)
+        return fired + delivered
+
+    def run_until_idle(self, max_rounds: int = 100_000) -> None:
+        """Drive the event loop until no events or interrupts remain."""
+        for _ in range(max_rounds):
+            if self.clock.next_deadline() is None and not any(
+                    self.intc.pending_count(c.cpu_id) for c in self.cpus):
+                return
+            deadline = self.clock.next_deadline()
+            if deadline is not None and deadline > self.clock.cycles:
+                self.clock.cycles = deadline
+            self.poll()
+        raise HardwareError("run_until_idle did not converge")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Machine({self.name!r}, cpus={len(self.cpus)}, "
+                f"frames={self.memory.num_frames})")

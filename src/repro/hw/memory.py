@@ -1,0 +1,140 @@
+"""Physical memory: frame allocator, per-frame metadata, frame contents.
+
+Frame *metadata* (owner, generation/dirty counters) lives in numpy arrays so
+that whole-memory operations — most importantly the mode-switch recompute of
+the VMM's page type/count information (§5.1.2) and migration dirty-scans —
+can be expressed as vectorized passes over hundreds of thousands of frames.
+
+Frame *contents* are stored sparsely: the simulator only materializes the
+content of frames someone actually writes (filesystem blocks, checkpoint
+payloads, workload data).  Contents are opaque Python values; fidelity tests
+round-trip them through checkpoints and migrations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.errors import InvalidPhysicalAddress, OutOfMemory
+from repro.params import PAGE_SIZE
+
+#: owner value for a free frame
+OWNER_FREE = -1
+#: owner value for frames belonging to the hardware/firmware (never allocatable)
+OWNER_RESERVED = -2
+
+
+class PhysicalMemory:
+    """All installed RAM, divided into 4 KiB frames."""
+
+    def __init__(self, num_frames: int):
+        if num_frames <= 0:
+            raise ValueError("num_frames must be positive")
+        self.num_frames = num_frames
+        #: which domain/owner id holds each frame (OWNER_FREE if none)
+        self.owner = np.full(num_frames, OWNER_FREE, dtype=np.int32)
+        #: bumped on every content write; migration uses it for dirty logging
+        self.generation = np.zeros(num_frames, dtype=np.int64)
+        # free list kept as a reversed stack so allocation is O(1) and
+        # deterministic (lowest frames first)
+        self._free = list(range(num_frames - 1, -1, -1))
+        self._contents: dict[int, object] = {}
+        #: arbitrary structured occupants (e.g. PageTablePage objects),
+        #: indexed by frame — the simulator's stand-in for "what these bytes
+        #: mean when interpreted by hardware"
+        self.frame_objects: dict[int, object] = {}
+
+    # -- allocation -----------------------------------------------------
+
+    def alloc(self, owner: int) -> int:
+        """Allocate one frame to ``owner``; returns the frame number."""
+        if not self._free:
+            raise OutOfMemory("physical memory exhausted")
+        frame = self._free.pop()
+        self.owner[frame] = owner
+        return frame
+
+    def alloc_many(self, owner: int, n: int) -> list[int]:
+        if n > len(self._free):
+            raise OutOfMemory(f"requested {n} frames, {len(self._free)} free")
+        return [self.alloc(owner) for _ in range(n)]
+
+    def alloc_specific(self, frame: int, owner: int) -> int:
+        """Allocate a *specific* frame (checkpoint-restore and migration
+        rebuild page tables with their original frame numbers on a fresh
+        target).  O(n) on the free list; restore paths only."""
+        self._check(frame)
+        if self.owner[frame] != OWNER_FREE:
+            raise InvalidPhysicalAddress(f"frame {frame} is already allocated")
+        self._free.remove(frame)
+        self.owner[frame] = owner
+        return frame
+
+    def free(self, frame: int) -> None:
+        self._check(frame)
+        if self.owner[frame] == OWNER_FREE:
+            raise InvalidPhysicalAddress(f"double free of frame {frame}")
+        self.owner[frame] = OWNER_FREE
+        self._contents.pop(frame, None)
+        self.frame_objects.pop(frame, None)
+        self._free.append(frame)
+
+    def reassign(self, frame: int, new_owner: int) -> None:
+        """Transfer ownership of a frame (used when a VMM claims frames of a
+        formerly-native OS during self-virtualization)."""
+        self._check(frame)
+        if self.owner[frame] == OWNER_FREE:
+            raise InvalidPhysicalAddress(f"reassigning free frame {frame}")
+        self.owner[frame] = new_owner
+
+    @property
+    def free_frames(self) -> int:
+        return len(self._free)
+
+    def frames_owned_by(self, owner: int) -> np.ndarray:
+        """All frame numbers currently owned by ``owner`` (vectorized)."""
+        return np.flatnonzero(self.owner == owner)
+
+    # -- contents ----------------------------------------------------------
+
+    def write(self, frame: int, value: object) -> None:
+        self._check_allocated(frame)
+        self._contents[frame] = value
+        self.generation[frame] += 1
+
+    def read(self, frame: int) -> object:
+        self._check_allocated(frame)
+        return self._contents.get(frame)
+
+    def written_frames(self) -> Iterator[int]:
+        return iter(self._contents)
+
+    # -- validation ----------------------------------------------------------
+
+    def _check(self, frame: int) -> None:
+        if not (0 <= frame < self.num_frames):
+            raise InvalidPhysicalAddress(f"frame {frame} out of range")
+
+    def _check_allocated(self, frame: int) -> None:
+        self._check(frame)
+        if self.owner[frame] == OWNER_FREE:
+            raise InvalidPhysicalAddress(f"frame {frame} is not allocated")
+
+    def owner_of(self, frame: int) -> int:
+        self._check(frame)
+        return int(self.owner[frame])
+
+    # -- snapshots (checkpoint/migration substrate) ---------------------------
+
+    def snapshot_owner_frames(self, owner: int) -> dict[int, object]:
+        """Copy the contents of every frame held by ``owner``."""
+        out: dict[int, object] = {}
+        for frame in self.frames_owned_by(owner):
+            f = int(frame)
+            out[f] = self._contents.get(f)
+        return out
+
+    def generation_of(self, frames: np.ndarray) -> np.ndarray:
+        return self.generation[frames]

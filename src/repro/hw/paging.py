@@ -1,0 +1,175 @@
+"""Two-level hardware-walked page tables (x86 32-bit style).
+
+An :class:`AddressSpace` is a PGD (top-level page-table page) whose entries
+point at leaf page-table pages; leaf entries map 4 KiB virtual pages to
+physical frames.  Page-table pages themselves occupy physical frames and are
+registered in :attr:`PhysicalMemory.frame_objects`, because the VMM must be
+able to find and validate them by frame number when pinning (§5.1.2).
+
+PTE permission bits matter to Mercury: in virtual mode the VMM keeps every
+page-table page read-only to the guest (direct paging), while in native mode
+they are writable — flipping this protection is one of the three state
+transfers a mode switch performs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.errors import PageFault
+from repro.hw.memory import PhysicalMemory
+from repro.params import PAGE_SIZE, PT_ENTRIES, PT_SPAN
+
+
+@dataclass
+class Pte:
+    """One leaf page-table entry."""
+
+    frame: int
+    present: bool = True
+    writable: bool = True
+    user: bool = True
+    accessed: bool = False
+    dirty: bool = False
+    #: copy-on-write marker (software bit, as Linux uses an available bit)
+    cow: bool = False
+
+    def clone(self) -> "Pte":
+        return Pte(self.frame, self.present, self.writable, self.user,
+                   self.accessed, self.dirty, self.cow)
+
+
+class PageTablePage:
+    """One page-table page (PGD or leaf), occupying a physical frame.
+
+    ``entries`` is sparse: only present slots are stored.  Cost accounting
+    for hardware scans still charges the full ``PT_ENTRIES`` width, because
+    real validation must look at every slot.
+    """
+
+    __slots__ = ("frame", "level", "entries")
+
+    def __init__(self, frame: int, level: int):
+        self.frame = frame
+        self.level = level  # 2 = PGD, 1 = leaf
+        self.entries: dict[int, object] = {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PageTablePage(frame={self.frame}, level={self.level}, n={len(self.entries)})"
+
+
+def vpn_split(vaddr: int) -> tuple[int, int]:
+    """Split a virtual address into (pgd index, leaf index)."""
+    vpn = vaddr // PAGE_SIZE
+    return vpn // PT_ENTRIES, vpn % PT_ENTRIES
+
+
+class AddressSpace:
+    """A full virtual address space: one PGD plus its leaf tables.
+
+    The address space does *not* charge cycles itself — callers (the guest
+    OS through its virtualization object, or the VMM validator) own cost
+    accounting, because the same structural operation costs differently in
+    native and virtual mode.
+    """
+
+    def __init__(self, mem: PhysicalMemory, owner: int):
+        self.mem = mem
+        self.owner = owner
+        pgd_frame = mem.alloc(owner)
+        self.pgd = PageTablePage(pgd_frame, level=2)
+        mem.frame_objects[pgd_frame] = self.pgd
+
+    # -- structure -------------------------------------------------------
+
+    @property
+    def pgd_frame(self) -> int:
+        return self.pgd.frame
+
+    def leaf_for(self, vaddr: int, create: bool = False) -> Optional[PageTablePage]:
+        pgd_idx, _ = vpn_split(vaddr)
+        leaf = self.pgd.entries.get(pgd_idx)
+        if leaf is None and create:
+            frame = self.mem.alloc(self.owner)
+            leaf = PageTablePage(frame, level=1)
+            self.mem.frame_objects[frame] = leaf
+            self.pgd.entries[pgd_idx] = leaf
+        return leaf
+
+    def pt_pages(self) -> Iterator[PageTablePage]:
+        """The PGD followed by every leaf page-table page."""
+        yield self.pgd
+        for leaf in self.pgd.entries.values():
+            yield leaf
+
+    def num_pt_pages(self) -> int:
+        return 1 + len(self.pgd.entries)
+
+    # -- mapping (structural only; no cost accounting) ---------------------
+
+    def set_pte(self, vaddr: int, pte: Pte) -> None:
+        leaf = self.leaf_for(vaddr, create=True)
+        _, idx = vpn_split(vaddr)
+        leaf.entries[idx] = pte
+
+    def clear_pte(self, vaddr: int) -> Optional[Pte]:
+        leaf = self.leaf_for(vaddr)
+        if leaf is None:
+            return None
+        _, idx = vpn_split(vaddr)
+        return leaf.entries.pop(idx, None)
+
+    def get_pte(self, vaddr: int) -> Optional[Pte]:
+        leaf = self.leaf_for(vaddr)
+        if leaf is None:
+            return None
+        _, idx = vpn_split(vaddr)
+        return leaf.entries.get(idx)
+
+    # -- hardware walk -------------------------------------------------------
+
+    def walk(self, vaddr: int, write: bool, user: bool) -> Pte:
+        """Translate ``vaddr``; raise :class:`PageFault` on miss/violation.
+
+        This is the hardware page walk: permission checks mirror x86
+        semantics (a supervisor access ignores the user bit; a write needs
+        the writable bit)."""
+        pte = self.get_pte(vaddr)
+        if pte is None or not pte.present:
+            raise PageFault(vaddr, write, user)
+        if user and not pte.user:
+            raise PageFault(vaddr, write, user, f"user access to kernel page {vaddr:#x}")
+        if write and not pte.writable:
+            raise PageFault(vaddr, write, user, f"write to read-only page {vaddr:#x}")
+        pte.accessed = True
+        if write:
+            pte.dirty = True
+        return pte
+
+    # -- enumeration -----------------------------------------------------------
+
+    def mapped_vaddrs(self) -> Iterator[int]:
+        for pgd_idx, leaf in self.pgd.entries.items():
+            base = pgd_idx * PT_SPAN
+            for idx in leaf.entries:
+                yield base + idx * PAGE_SIZE
+
+    def mapped_count(self) -> int:
+        return sum(len(leaf.entries) for leaf in self.pgd.entries.values())
+
+    def mapped_frames(self) -> Iterator[int]:
+        for leaf in self.pgd.entries.values():
+            for pte in leaf.entries.values():
+                if pte.present:
+                    yield pte.frame
+
+    # -- teardown ------------------------------------------------------------
+
+    def destroy(self) -> None:
+        """Free the page-table pages themselves (NOT the mapped frames —
+        those belong to whoever mapped them and may be shared)."""
+        for leaf in list(self.pgd.entries.values()):
+            self.mem.free(leaf.frame)
+        self.pgd.entries.clear()
+        self.mem.free(self.pgd.frame)

@@ -1,0 +1,57 @@
+"""Hardware-managed TLB model.
+
+The paper's address-space design decision (§3.2.2) — keeping the VMM mapped
+in a reserved region of every address space — exists precisely because a
+hardware-managed TLB makes address-space switches expensive.  The simulator
+models a small FIFO TLB: hits are free, misses charge a refill, and CR3
+writes flush everything (as on pre-PCID x86).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+
+class Tlb:
+    """A per-CPU translation lookaside buffer with FIFO replacement."""
+
+    def __init__(self, capacity: int = 64):
+        if capacity <= 0:
+            raise ValueError("TLB capacity must be positive")
+        self.capacity = capacity
+        self._entries: OrderedDict[int, tuple[int, bool]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.flushes = 0
+
+    def lookup(self, vpn: int) -> Optional[tuple[int, bool]]:
+        """Return (frame, writable) on a hit, else None."""
+        hit = self._entries.get(vpn)
+        if hit is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return hit
+
+    def fill(self, vpn: int, frame: int, writable: bool) -> None:
+        if vpn in self._entries:
+            self._entries.pop(vpn)
+        elif len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+        self._entries[vpn] = (frame, writable)
+
+    def invalidate(self, vpn: int) -> None:
+        """invlpg: drop one translation."""
+        self._entries.pop(vpn, None)
+
+    def flush(self) -> None:
+        """Full flush (CR3 write / explicit flush)."""
+        self._entries.clear()
+        self.flushes += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, vpn: int) -> bool:
+        return vpn in self._entries

@@ -1,0 +1,193 @@
+"""Hardware-assisted virtualization: VT-x-style VMCS and EPT (§8).
+
+The paper's first future-work item: "current CPU virtualization such as
+VT-x enables the encapsulation of virtualization sensitive data into a
+centralized structure (e.g., VMCS or VMCB).  This could make the mode
+switch between the native mode and virtualized mode much easier to
+implement.  Further, the nested page table or extended page table could
+ease the tracking of the states of each page."
+
+This module provides both pieces on the simulated hardware:
+
+- :class:`Vmcs` — the centralized guest/host state structure.  Loading it
+  swaps the whole sensitive state in one operation (``vmentry`` /
+  ``vmexit``), replacing Mercury's piecewise transfer+reload.
+- :class:`EptTable` — a per-domain second-level translation with
+  permissions.  Guest page tables stay *writable by the guest*; isolation
+  comes from the EPT instead of pinning/validation, so a mode switch needs
+  **no page type/count recompute** — the dominant cost of the software
+  switch disappears.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.errors import HardwareError, PageValidationError
+
+if TYPE_CHECKING:
+    from repro.hw.cpu import Cpu
+    from repro.hw.memory import PhysicalMemory
+
+#: cycles for one VMCS load + VMLAUNCH/VMRESUME world entry
+CYC_VMENTRY = 900
+#: cycles for one VM exit into the hypervisor
+CYC_VMEXIT = 1_000
+#: cycles to fill/flush the VMCS guest-state area during a mode switch
+CYC_VMCS_SYNC = 4_500
+#: cycles to (de)activate an EPT root (pointer swap + TLB/EPT-TLB flush)
+CYC_EPT_SWITCH = 1_800
+#: per-frame cost of building EPT entries in bulk (vectorized on real
+#: hardware by large-page mappings; tiny per frame)
+CYC_EPT_BUILD_PER_FRAME = 1
+
+
+@dataclass
+class VmcsGuestState:
+    """The guest-state area: everything Mercury's transfer/reload moved
+    piecewise now lives here."""
+
+    cr3: Optional[int] = None
+    privilege_level: int = 0
+    idt: Optional[object] = None
+    gdt: Optional[dict] = None
+    interrupts_enabled: bool = True
+    kernel_segment_dpl: int = 0
+
+
+class Vmcs:
+    """One virtual-machine control structure."""
+
+    def __init__(self, vm_id: int):
+        self.vm_id = vm_id
+        self.guest = VmcsGuestState()
+        self.host = VmcsGuestState()
+        #: which events force a VM exit (privileged ops list)
+        self.exit_controls: set[str] = {"write_cr3", "lidt", "lgdt", "cli",
+                                        "sti"}
+        self.launched = False
+        self.vmentries = 0
+        self.vmexits = 0
+
+    def capture_guest(self, cpu: "Cpu") -> None:
+        """Store the CPU's sensitive state into the guest area (one
+        hardware operation — the §8 'centralized structure' win)."""
+        cpu.charge(CYC_VMCS_SYNC)
+        g = self.guest
+        g.cr3 = cpu.cr3
+        g.privilege_level = int(cpu.pl)
+        g.idt = cpu.idt_base
+        g.gdt = dict(cpu.gdt)
+        g.interrupts_enabled = cpu.interrupts_enabled
+
+
+class EptTable:
+    """Extended page tables for one guest: guest-physical to host-physical
+    with permissions.
+
+    The simulator's guests address host frames directly (the direct-mode
+    simplification of §3.2.2), so the EPT is an identity map restricted to
+    the frames the guest owns — which is precisely the isolation the
+    software path needed pinning and per-PTE validation for."""
+
+    def __init__(self, mem: "PhysicalMemory", domain_id: int):
+        self.mem = mem
+        self.domain_id = domain_id
+        self.present = np.zeros(mem.num_frames, dtype=bool)
+        self.writable = np.zeros(mem.num_frames, dtype=bool)
+        self.active = False
+        self.violations = 0
+
+    def build(self, cpu: "Cpu") -> int:
+        """(Re)build the table from current frame ownership — a vectorized
+        pass, unlike the software path's per-PTE validation walk."""
+        owned = self.mem.owner == self.domain_id
+        self.present[:] = owned
+        self.writable[:] = owned
+        n = int(owned.sum())
+        cpu.charge(CYC_EPT_BUILD_PER_FRAME * n)
+        return n
+
+    def check(self, frame: int, write: bool) -> None:
+        """Hardware EPT check on a guest access."""
+        if not (0 <= frame < self.mem.num_frames) or not self.present[frame]:
+            self.violations += 1
+            raise PageValidationError(
+                f"EPT violation: domain {self.domain_id} touched frame {frame}")
+        if write and not self.writable[frame]:
+            self.violations += 1
+            raise PageValidationError(
+                f"EPT violation: write to protected frame {frame}")
+
+    def protect(self, frame: int) -> None:
+        """Write-protect one frame (dirty logging for migration rides on
+        this in HVM mode)."""
+        self.writable[frame] = False
+
+    def unprotect(self, frame: int) -> None:
+        self.writable[frame] = True
+
+
+class VtxUnit:
+    """The per-CPU VT-x state: vmxon/vmxoff plus the active VMCS."""
+
+    def __init__(self, cpu: "Cpu"):
+        self.cpu = cpu
+        self.vmx_on = False
+        self.current_vmcs: Optional[Vmcs] = None
+        self.current_ept: Optional[EptTable] = None
+
+    def vmxon(self) -> None:
+        self.cpu.check_privilege("vmxon")
+        if self.vmx_on:
+            raise HardwareError("vmxon while already in VMX operation")
+        self.cpu.charge(self.cpu.cost.cyc_privop_native)
+        self.vmx_on = True
+
+    def vmxoff(self) -> None:
+        self.cpu.check_privilege("vmxoff")
+        if not self.vmx_on:
+            raise HardwareError("vmxoff outside VMX operation")
+        self.cpu.charge(self.cpu.cost.cyc_privop_native)
+        self.vmx_on = False
+        self.current_vmcs = None
+        self.current_ept = None
+
+    def vmentry(self, vmcs: Vmcs, ept: Optional[EptTable] = None) -> None:
+        """Load the guest state and enter non-root mode: the entire mode
+        relocation as ONE hardware operation."""
+        if not self.vmx_on:
+            raise HardwareError("vmentry outside VMX operation")
+        cpu = self.cpu
+        cpu.charge(CYC_VMENTRY)
+        self.current_vmcs = vmcs
+        self.current_ept = ept
+        if ept is not None:
+            cpu.charge(CYC_EPT_SWITCH)
+            ept.active = True
+        g = vmcs.guest
+        if g.cr3 is not None:
+            saved, cpu.pl = cpu.pl, type(cpu.pl)(0)
+            try:
+                cpu.write_cr3(g.cr3)
+            finally:
+                cpu.pl = saved
+        if g.idt is not None:
+            cpu.idt_base = g.idt
+        if g.gdt is not None:
+            cpu.gdt = g.gdt
+        cpu.interrupts_enabled = g.interrupts_enabled
+        vmcs.launched = True
+        vmcs.vmentries += 1
+
+    def vmexit(self, reason: str) -> None:
+        """Leave non-root mode into the hypervisor."""
+        if self.current_vmcs is None:
+            raise HardwareError("vmexit with no active VMCS")
+        self.cpu.charge(CYC_VMEXIT)
+        self.current_vmcs.vmexits += 1
+        if self.current_ept is not None:
+            self.current_ept.active = False

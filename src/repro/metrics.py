@@ -1,0 +1,172 @@
+"""System-wide metrics collection and reporting.
+
+Gathers the counters every layer already maintains — hypercalls served,
+traps emulated, interrupts delivered, TLB hit rates, buffer-cache hit
+rates, ring traffic, mode switches — into one snapshot, diffable across a
+workload run.  The examples and benches use it to explain *why* a
+configuration is slower, not just that it is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:
+    from repro.core.mercury import Mercury
+    from repro.guestos.kernel import Kernel
+    from repro.hw.machine import Machine
+    from repro.vmm.hypervisor import Hypervisor
+
+
+@dataclass
+class MetricsSnapshot:
+    """One point-in-time reading of every counter."""
+
+    cycles: int = 0
+    # hardware
+    tlb_hits: int = 0
+    tlb_misses: int = 0
+    tlb_flushes: int = 0
+    interrupts_delivered: int = 0
+    ipis_sent: int = 0
+    disk_requests: int = 0
+    nic_tx_packets: int = 0
+    nic_rx_packets: int = 0
+    # kernel
+    syscalls: int = 0
+    forks: int = 0
+    execs: int = 0
+    minor_faults: int = 0
+    cow_breaks: int = 0
+    prot_faults: int = 0
+    context_switches: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    journal_commits: int = 0
+    # vmm
+    hypercalls: int = 0
+    traps_emulated: int = 0
+    page_validations: int = 0
+    world_switches: int = 0
+    # mercury
+    mode_switches: int = 0
+    vo_entries: int = 0
+
+    def __sub__(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        out = MetricsSnapshot()
+        for f in fields(self):
+            setattr(out, f.name,
+                    getattr(self, f.name) - getattr(other, f.name))
+        return out
+
+    @property
+    def tlb_hit_rate(self) -> float:
+        total = self.tlb_hits + self.tlb_misses
+        return self.tlb_hits / total if total else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def elapsed_us(self) -> float:
+        return self.cycles / 3000.0
+
+
+class MetricsCollector:
+    """Reads the counters of one machine/kernel/VMM/Mercury stack."""
+
+    def __init__(self, machine: "Machine",
+                 kernel: Optional["Kernel"] = None,
+                 vmm: Optional["Hypervisor"] = None,
+                 mercury: Optional["Mercury"] = None):
+        self.machine = machine
+        self.kernel = kernel
+        self.vmm = vmm if vmm is not None else (
+            mercury.vmm if mercury is not None else None)
+        self.mercury = mercury
+
+    def snapshot(self) -> MetricsSnapshot:
+        m = self.machine
+        snap = MetricsSnapshot(cycles=m.clock.cycles)
+        snap.tlb_hits = sum(c.tlb.hits for c in m.cpus)
+        snap.tlb_misses = sum(c.tlb.misses for c in m.cpus)
+        snap.tlb_flushes = sum(c.tlb.flushes for c in m.cpus)
+        snap.interrupts_delivered = m.intc.delivered
+        snap.ipis_sent = m.intc.sent_ipis
+        snap.disk_requests = m.disk.requests_served
+        snap.nic_tx_packets = m.nic.tx_packets
+        snap.nic_rx_packets = m.nic.rx_packets
+
+        k = self.kernel
+        if k is not None:
+            snap.syscalls = k.syscalls_served
+            snap.forks = k.procs.forks
+            snap.execs = k.procs.execs
+            snap.minor_faults = k.vmem.minor_faults
+            snap.cow_breaks = k.vmem.cow_breaks
+            snap.prot_faults = k.vmem.prot_faults
+            snap.context_switches = k.scheduler.switches
+            snap.cache_hits = k.fs.cache.hits
+            snap.cache_misses = k.fs.cache.misses
+            snap.journal_commits = k.fs.journal_commits
+            snap.vo_entries = k.vo.entries
+
+        if self.vmm is not None:
+            snap.hypercalls = self.vmm.hypercalls_served
+            snap.traps_emulated = self.vmm.traps_emulated
+            if self.vmm.page_info is not None:
+                snap.page_validations = self.vmm.page_info.validations
+            if self.vmm.scheduler is not None:
+                snap.world_switches = self.vmm.scheduler.world_switches
+
+        if self.mercury is not None:
+            snap.mode_switches = len(self.mercury.switch_records)
+        return snap
+
+    def measure(self, fn, *args, **kwargs):
+        """Run ``fn`` and return (result, delta snapshot)."""
+        before = self.snapshot()
+        result = fn(*args, **kwargs)
+        return result, self.snapshot() - before
+
+
+def format_report(delta: MetricsSnapshot, title: str = "Metrics") -> str:
+    """Human-readable account of one measured interval."""
+    lines = [title, ""]
+    lines.append(f"  elapsed           {delta.elapsed_us:14.1f} µs")
+    groups = [
+        ("kernel", [("syscalls", delta.syscalls), ("forks", delta.forks),
+                    ("execs", delta.execs),
+                    ("context switches", delta.context_switches),
+                    ("minor faults", delta.minor_faults),
+                    ("COW breaks", delta.cow_breaks)]),
+        ("memory", [("TLB hits", delta.tlb_hits),
+                    ("TLB misses", delta.tlb_misses),
+                    ("TLB flushes", delta.tlb_flushes)]),
+        ("I/O", [("disk requests", delta.disk_requests),
+                 ("packets tx", delta.nic_tx_packets),
+                 ("packets rx", delta.nic_rx_packets),
+                 ("cache hits", delta.cache_hits),
+                 ("cache misses", delta.cache_misses),
+                 ("journal commits", delta.journal_commits)]),
+        ("virtualization", [("hypercalls", delta.hypercalls),
+                            ("traps emulated", delta.traps_emulated),
+                            ("page validations", delta.page_validations),
+                            ("mode switches", delta.mode_switches),
+                            ("VO entries", delta.vo_entries)]),
+    ]
+    for name, rows in groups:
+        shown = [(label, v) for label, v in rows if v]
+        if not shown:
+            continue
+        lines.append(f"  {name}:")
+        for label, v in shown:
+            lines.append(f"    {label:<18}{v:>12}")
+    if delta.tlb_hits + delta.tlb_misses:
+        lines.append(f"  TLB hit rate      {delta.tlb_hit_rate:14.1%}")
+    if delta.cache_hits + delta.cache_misses:
+        lines.append(f"  cache hit rate    {delta.cache_hit_rate:14.1%}")
+    return "\n".join(lines)

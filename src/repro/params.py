@@ -1,0 +1,160 @@
+"""Cost model and machine configuration.
+
+The simulator charges **cycles** for every primitive operation.  This module
+is the single place where those unit costs live, together with the shape of
+the simulated machine (the paper's testbed: a DELL SC1420 with two 3 GHz
+Xeons, 2 GB RAM, one SCSI disk, one NIC — §7.1).
+
+Calibration philosophy (see DESIGN.md §7): the *native* costs are calibrated
+so that native-Linux lmbench rows roughly match Table 1 of the paper.  The
+virtualized costs are **not** hard-coded per configuration — they emerge
+because the same kernel paths execute through the virtual-mode
+virtualization object, paying trap/hypercall/validation costs per sensitive
+operation.  Mercury's own overhead is the pointer indirection
+(``cyc_vo_indirect``) plus mode-switch work, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+#: Size of a simulated page in bytes (x86 small page).
+PAGE_SIZE = 4096
+
+#: Page-table entries per page-table page (x86 32-bit, 2-level paging).
+PT_ENTRIES = 1024
+
+#: Bytes of virtual address space covered by one leaf page-table page.
+PT_SPAN = PAGE_SIZE * PT_ENTRIES  # 4 MiB
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-primitive cycle costs.
+
+    All values are cycles on the issuing CPU unless stated otherwise.
+    ``freq_mhz`` converts cycles to wall time: at 3000 MHz, 3000 cycles
+    equal one microsecond.
+    """
+
+    freq_mhz: int = 3000
+
+    # --- CPU / privilege primitives -------------------------------------
+    cyc_kernel_entry: int = 90        # syscall/trap entry into the kernel
+    cyc_kernel_exit: int = 80         # return to user
+    cyc_syscall_virt_extra: int = 900 # de-privileged syscall: int80 bounces
+                                      # through the VMM before reaching the guest
+    cyc_privop_native: int = 22       # privileged instruction executed directly
+    cyc_trap_roundtrip: int = 1150    # guest -> VMM -> guest bounce (fault reflection)
+    cyc_hypercall: int = 750          # explicit hypercall entry/exit
+    cyc_emulate_privop: int = 520     # VMM decode+emulate of a trapped sensitive insn
+    cyc_vo_indirect: int = 3          # Mercury's function-table indirection
+    cyc_iret_fixup: int = 45          # segment-selector fixup stub on return paths
+    cyc_lock: int = 150               # contended spinlock (charged in SMP mode)
+    cyc_smp_ctx_extra: int = 1_800    # runqueue-lock + cacheline bouncing per switch
+    cyc_smp_fault_extra: int = 1_100  # mmap_sem contention per fault (SMP)
+    cyc_ipi_send: int = 450
+    cyc_ipi_deliver: int = 700
+    cyc_sched_pick: int = 3_000       # scheduler work + cache refill per switch
+    cyc_ctx_resident_pages: int = 8   # code/stack pages re-touched after CR3 load
+    cyc_proc_create_fixed: int = 280_000  # task struct, kernel stack, fd/vma copies
+    cyc_exec_fixed: int = 160_000     # image load bookkeeping, argv setup
+    cyc_virt_ctx_extra: int = 7_000   # Xen ctx: stack_switch + descriptor updates
+                                      # + FPU/segment trap storms per switch
+    cyc_interrupt_dispatch: int = 350 # IDT dispatch + handler prologue
+    cyc_vmm_irq_latency: int = 55_000 # interrupt-to-guest delivery latency when the
+                                      # VMM fields hardware interrupts (event channel
+                                      # + scheduling, the dominant net-latency tax)
+    cyc_guest_sched_latency: int = 45_000  # extra hop for a non-driver domain:
+                                           # frontend/backend notification + vcpu wakeup
+    cyc_guest_rx_latency: int = 100_000    # inbound packet to a hosted guest: dom0
+                                           # softirq + netback + domU vcpu wakeup
+
+    # --- memory / MMU primitives ----------------------------------------
+    cyc_pte_write: int = 12           # direct PTE store (native mode)
+    cyc_pte_validate: int = 6         # VMM scan cost per PT slot during pin/validation
+    cyc_mmu_update_per_pte: int = 1_400  # per-PTE validate+apply on the unbatched
+                                         # update_va_mapping path
+    cyc_mmu_update_batched: int = 1_000  # per-PTE cost inside a batched mmu_update
+                                         # multicall (region map/unmap paths)
+    mmu_batch_size: int = 32             # PTEs per multicall batch
+    cyc_emulate_pte_write: int = 1500 # trap + decode + validate one guest PTE store
+    cyc_cr3_write: int = 320          # page-table base load, incl. mandatory TLB flush
+    cyc_tlb_flush: int = 220
+    cyc_tlb_refill_per_page: int = 38 # first-touch cost per page after a flush
+    cyc_mem_touch_per_kb: int = 260   # copying/zeroing/touching one KB of data
+    cyc_fault_hw: int = 820           # hardware fault delivery (native)
+    cyc_fault_handler_fixed: int = 900  # kernel fault-handler fixed work
+    cyc_page_alloc: int = 420         # buddy-allocator work for one frame
+    cyc_cow_copy_page: int = 1180     # copy one 4 KiB page on a COW break
+    cyc_virt_fault_penalty: int = 2600  # extra cache/iTLB damage per virt-mode fault
+                                        # (the paper's [28]: increased iTLB/cache misses)
+
+    # --- mode switch (Mercury) -------------------------------------------
+    cyc_switch_interrupt: int = 2200   # the self-virtualization interrupt + prologue
+    cyc_reload_fixed: int = 90_000     # CR3/IDT/GDT/LDT reload + VMM (de)activation
+    cyc_transfer_per_pt_page: int = 500    # re-protect one PT page + irq rebinding share
+    cyc_refcount_check: int = 60
+    cyc_active_track_per_op: int = 9   # ACTIVE accounting: extra work per PT op in
+                                       # native mode (the 2-3% running-cost option)
+
+    # --- device primitives -----------------------------------------------
+    cyc_disk_submit: int = 2800        # driver + controller doorbell per request
+    cyc_disk_irq: int = 2400           # completion interrupt handling
+    cyc_ring_hop: int = 2100           # one shared-memory ring crossing (req or resp)
+    cyc_event_channel: int = 900       # virtual interrupt via event channel
+    cyc_grant_map: int = 1400          # map/unmap one granted page
+    cyc_net_per_packet: int = 3900     # native stack cost per packet (driver+stack)
+    cyc_net_copy_per_kb: int = 300     # payload copy cost
+    cyc_fs_op_fixed: int = 2300        # VFS path resolution + inode ops
+    cyc_journal_commit: int = 9000     # ext3-like journal commit
+
+    # --- physical device timing (nanoseconds, not CPU cycles) ------------
+    disk_seek_ns: int = 4_900_000      # average seek, 10k RPM SCSI
+    disk_rot_ns: int = 3_000_000       # average rotational delay
+    disk_xfer_ns_per_kb: int = 16_000  # ~60 MB/s media rate
+    net_wire_ns_per_kb: int = 8_200    # ~1 Gb/s wire
+    net_latency_ns: int = 55_000       # one-way switch+wire latency
+
+    def us(self, cycles: float) -> float:
+        """Convert cycles to microseconds at this clock frequency."""
+        return cycles / self.freq_mhz
+
+    def cycles_from_ns(self, ns: float) -> float:
+        """Convert wall-clock nanoseconds to cycles at this frequency."""
+        return ns * self.freq_mhz / 1000.0
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Shape of a simulated machine.
+
+    Defaults mirror the paper's testbed (§7.1): 3 GHz CPUs, 900 000 KB per
+    Linux variant, 100 Hz timer.  Tests use smaller memories for speed; the
+    benchmarks use paper-faithful sizes.
+    """
+
+    num_cpus: int = 1
+    mem_kb: int = 900_000
+    timer_hz: int = 100
+    cost: CostModel = field(default_factory=CostModel)
+
+    @property
+    def num_frames(self) -> int:
+        return (self.mem_kb * 1024) // PAGE_SIZE
+
+    def with_cpus(self, n: int) -> "MachineConfig":
+        return replace(self, num_cpus=n)
+
+    def with_mem_kb(self, kb: int) -> "MachineConfig":
+        return replace(self, mem_kb=kb)
+
+
+def small_config(num_cpus: int = 1, mem_kb: int = 16_384) -> MachineConfig:
+    """A small, fast configuration for unit tests (16 MiB by default)."""
+    return MachineConfig(num_cpus=num_cpus, mem_kb=mem_kb)
+
+
+def paper_config(num_cpus: int = 1) -> MachineConfig:
+    """The paper's testbed configuration (§7.1)."""
+    return MachineConfig(num_cpus=num_cpus, mem_kb=900_000)

@@ -1,0 +1,29 @@
+"""Usage scenarios of self-virtualization (§6 of the paper).
+
+Each module is one scenario, built on the Mercury core:
+
+- :mod:`repro.scenarios.checkpoint` — checkpoint/restart of operating
+  systems (§6.1): attach, snapshot, detach; restore locally after a
+  software failure or on another machine after a hardware failure.
+- :mod:`repro.scenarios.migration` — live migration with iterative
+  pre-copy and dirty-page logging (the primitive §6.3 and §6.5 rely on).
+- :mod:`repro.scenarios.maintenance` — online hardware maintenance
+  (§6.3): migrate away, maintain, migrate back, return to native.
+- :mod:`repro.scenarios.liveupdate` — live kernel updating (§6.4,
+  LUCOS-style) with the VMM attached only for the update window.
+- :mod:`repro.scenarios.healing` — self-healing (§6.2): sensors detect
+  anomalies, the attached VMM repairs tainted state.
+- :mod:`repro.scenarios.cluster` — HPC cluster availability (§6.5):
+  failure prediction plus proactive migration.
+"""
+
+from repro.scenarios.checkpoint import CheckpointImage, checkpoint, restore
+from repro.scenarios.migration import LiveMigration, MigrationReport
+
+__all__ = [
+    "CheckpointImage",
+    "LiveMigration",
+    "MigrationReport",
+    "checkpoint",
+    "restore",
+]

@@ -1,0 +1,367 @@
+"""Checkpoint and restart of operating systems (§6.1).
+
+"To perform checkpointing, the pre-cached VMM is activated and makes a
+snapshot of the whole system, then the VMM is detached and remains
+inactive.  If a software failure occurs, the VMM could be automatically
+re-activated to restore the failed system into a recent checkpoint.  For
+hardware failures, the snapshot could be manually restored to another
+healthy machine."
+
+The snapshot serializes the guest's complete logical state — frame
+contents, page-table structure, process table, scheduler, filesystem — into
+a machine-independent :class:`CheckpointImage`.  Restore replays it either
+onto the same kernel (rollback) or onto a fresh machine (disaster
+recovery); fidelity tests assert workloads observe identical state.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.mercury import Mercury, Mode
+from repro.errors import CheckpointError
+from repro.guestos.process import Task, TaskState
+from repro.hw.paging import AddressSpace, Pte
+
+if TYPE_CHECKING:
+    from repro.guestos.kernel import Kernel
+    from repro.hw.cpu import Cpu
+
+#: cycles to snapshot one frame (copy + bookkeeping in the VMM)
+CYC_SNAPSHOT_PER_FRAME = 260
+
+
+# ---------------------------------------------------------------------------
+# image format
+# ---------------------------------------------------------------------------
+
+@dataclass
+class AspaceImage:
+    pgd_frame: int
+    #: vaddr -> (frame, present, writable, user, cow)
+    ptes: dict[int, tuple] = field(default_factory=dict)
+    #: pgd slot -> frame of the leaf page-table page occupying it
+    leaf_frames: dict[int, int] = field(default_factory=dict)
+
+
+@dataclass
+class TaskImage:
+    pid: int
+    name: str
+    state: str
+    aspace_index: int
+    vmas: list = field(default_factory=list)
+    brk: int = 0
+    fds: dict = field(default_factory=dict)
+    next_fd: int = 3
+    parent_pid: Optional[int] = None
+    exit_code: Optional[int] = None
+    selector_dpl: Optional[int] = None
+
+
+@dataclass
+class CheckpointImage:
+    """A complete, machine-independent snapshot of one guest OS."""
+
+    kernel_name: str
+    owner_id: int
+    taken_at_cycles: int
+    #: frame -> content for every frame the guest owned
+    frames: dict[int, object] = field(default_factory=dict)
+    aspaces: list[AspaceImage] = field(default_factory=list)
+    tasks: list[TaskImage] = field(default_factory=list)
+    current_pid: Optional[int] = None
+    runqueue_pids: list[int] = field(default_factory=list)
+    next_pid: int = 1
+    #: filesystem: inodes + next block + (optionally) raw disk blocks
+    fs_inodes: dict = field(default_factory=dict)
+    fs_next_block: int = 1024
+    disk_blocks: Optional[dict] = None
+    #: frame share counts for COW
+    frame_refs: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def num_frames(self) -> int:
+        return len(self.frames)
+
+
+# ---------------------------------------------------------------------------
+# checkpoint
+# ---------------------------------------------------------------------------
+
+def checkpoint(mercury: Mercury, cpu: Optional["Cpu"] = None,
+               include_disk: bool = True) -> CheckpointImage:
+    """Snapshot the self-virtualized OS.
+
+    If the OS is native, the VMM is attached for the duration of the
+    snapshot and detached afterwards — the §6.1 flow."""
+    cpu = cpu or mercury.machine.boot_cpu
+    kernel = mercury.kernel
+    was_native = mercury.mode is Mode.NATIVE
+    if was_native:
+        mercury.attach(cpu)
+    try:
+        kernel.fs.sync_all(cpu)  # quiesce: the image carries clean FS state
+        image = _snapshot(kernel, cpu, include_disk)
+    finally:
+        if was_native:
+            mercury.detach(cpu)
+    return image
+
+
+def _snapshot(kernel: "Kernel", cpu: "Cpu", include_disk: bool) -> CheckpointImage:
+    mem = kernel.machine.memory
+    image = CheckpointImage(
+        kernel_name=kernel.name,
+        owner_id=kernel.owner_id,
+        taken_at_cycles=kernel.machine.clock.cycles,
+        next_pid=kernel.procs._next_pid,
+    )
+
+    # memory frames (charged per frame — snapshotting is the bulk cost)
+    for frame in mem.frames_owned_by(kernel.owner_id):
+        f = int(frame)
+        image.frames[f] = copy.deepcopy(mem.read(f)) if mem.read(f) is not None else None
+        cpu.charge(CYC_SNAPSHOT_PER_FRAME)
+
+    # address spaces
+    aspace_indices: dict[int, int] = {}
+    for idx, aspace in enumerate(kernel.aspaces):
+        aspace_indices[id(aspace)] = idx
+        a_img = AspaceImage(pgd_frame=aspace.pgd_frame)
+        a_img.leaf_frames = {idx: leaf.frame
+                             for idx, leaf in aspace.pgd.entries.items()}
+        for vaddr in aspace.mapped_vaddrs():
+            pte = aspace.get_pte(vaddr)
+            a_img.ptes[vaddr] = (pte.frame, pte.present, pte.writable,
+                                 pte.user, pte.cow)
+        image.aspaces.append(a_img)
+
+    # tasks
+    for task in kernel.procs.tasks.values():
+        if id(task.aspace) not in aspace_indices:
+            continue  # zombies whose aspace is gone carry no memory state
+        image.tasks.append(TaskImage(
+            pid=task.pid, name=task.name, state=task.state.value,
+            aspace_index=aspace_indices[id(task.aspace)],
+            vmas=[v.clone() for v in task.vmas], brk=task.brk,
+            fds={fd: list(v) for fd, v in task.fds.items()},
+            next_fd=task.next_fd,
+            parent_pid=task.parent.pid if task.parent else None,
+            exit_code=task.exit_code,
+            selector_dpl=task.stack_cached_selector_dpl))
+    image.current_pid = (kernel.scheduler.current.pid
+                         if kernel.scheduler.current else None)
+    image.runqueue_pids = [t.pid for t in kernel.scheduler.runqueue]
+
+    # filesystem
+    image.fs_inodes = copy.deepcopy(kernel.fs.inodes)
+    image.fs_next_block = kernel.fs._next_block
+    if include_disk:
+        image.disk_blocks = dict(kernel.machine.disk.blocks)
+
+    image.frame_refs = dict(kernel.vmem._frame_refs)
+    return image
+
+
+# ---------------------------------------------------------------------------
+# restore
+# ---------------------------------------------------------------------------
+
+def restore(image: CheckpointImage, mercury: Mercury,
+            cpu: Optional["Cpu"] = None, fresh_kernel: bool = False) -> "Kernel":
+    """Restore a checkpoint.
+
+    - Rollback on the same machine: pass the Mercury whose kernel took the
+      snapshot; its current state is discarded and rebuilt.
+    - Disaster recovery: pass a Mercury on a fresh machine with
+      ``fresh_kernel=True``; a new kernel is created and populated.
+
+    Per §6.1 the VMM does the restoring: it is attached for the duration
+    (and detached again if it was not attached before)."""
+    cpu = cpu or mercury.machine.boot_cpu
+    was_native = mercury.mode is Mode.NATIVE
+
+    if fresh_kernel and mercury.kernel is None:
+        kernel = mercury.create_kernel(name=image.kernel_name,
+                                       owner_id=image.owner_id, boot=False)
+        kernel.booted = True  # restored, not booted
+        _install_boot_tables(kernel, cpu)
+    else:
+        kernel = mercury.kernel
+        if kernel is None:
+            raise CheckpointError("no kernel to restore into")
+
+    if was_native and kernel.booted:
+        mercury.attach(cpu)
+    try:
+        _wipe(kernel, cpu)
+        _rebuild(kernel, image, cpu)
+    finally:
+        if was_native and mercury.mode is not Mode.NATIVE:
+            mercury.detach(cpu)
+    return kernel
+
+
+def restore_as_guest(image: CheckpointImage, host: Mercury,
+                     cpu: Optional["Cpu"] = None,
+                     guest_addr: Optional[str] = None) -> "Kernel":
+    """Restore a checkpoint as a *hosted guest* on another machine (§6.3:
+    the migrated execution environment lands on a machine already in
+    partial-virtual mode, accommodating multiple operating systems).
+
+    The restored kernel gets its own domain, a VirtualVO, and split I/O to
+    the host's driver domain.  Shared (networked) storage is modelled by
+    copying the image's disk blocks onto the host's disk."""
+    from repro.core.virtual_vo import VirtualVO
+    from repro.guestos.kernel import Kernel
+    from repro.guestos.splitio import connect_split_block, connect_split_net
+
+    if host.mode is Mode.NATIVE:
+        raise CheckpointError("host must have its VMM attached")
+    cpu = cpu or host.machine.boot_cpu
+
+    owner_id = max(list(host.vmm.domains) + [0]) + 1
+    domain = host.vmm.create_domain(image.kernel_name, domain_id=owner_id)
+    guest_vo = VirtualVO(host.machine, host.vmm, domain)
+    guest = Kernel(host.machine, guest_vo, owner_id=owner_id,
+                   name=image.kernel_name, has_devices=False)
+    domain.guest = guest
+    guest.booted = True
+
+    # networked storage: the image's blocks appear on the host's disk
+    if image.disk_blocks is not None:
+        host.machine.disk.blocks.update(image.disk_blocks)
+
+    _rebuild(guest, image, cpu)
+
+    # §5.2: frontends are created and connected *after* the migration
+    connect_split_block(guest, host.kernel, host.vmm)
+    connect_split_net(guest, host.kernel, host.vmm,
+                      guest_addr or f"{host.machine.nic.addr}:m{owner_id}")
+    host._guests.append(guest)
+    return guest
+
+
+def _install_boot_tables(kernel: "Kernel", cpu: "Cpu") -> None:
+    """Minimal hardware bring-up for a restored-from-scratch kernel."""
+    from repro.hw.cpu import SegmentDescriptor
+    from repro.hw.interrupts import VEC_DISK, VEC_NET, VEC_TIMER
+
+    for c in kernel.machine.cpus:
+        c.gdt = {1: SegmentDescriptor("kernel_cs", 0),
+                 2: SegmentDescriptor("kernel_ds", 0),
+                 3: SegmentDescriptor("user_cs", 3)}
+    kernel.idt.set_gate(VEC_TIMER, kernel._timer_irq, name="timer")
+    if kernel.has_devices:
+        kernel.idt.set_gate(VEC_DISK, kernel._disk_irq, name="disk")
+        kernel.idt.set_gate(VEC_NET, kernel._net_irq, name="net")
+        kernel.vo.load_idt(cpu, kernel.idt)
+        kernel.vo.bind_irq(cpu, "timer", 0, VEC_TIMER)
+        kernel.vo.bind_irq(cpu, kernel.machine.disk.name, 0, VEC_DISK)
+        kernel.vo.bind_irq(cpu, kernel.machine.nic.name, 0, VEC_NET)
+
+
+def _wipe(kernel: "Kernel", cpu: "Cpu") -> None:
+    """Discard the kernel's current state (the failed instance).
+
+    Address spaces are torn down through the VO so that, in virtual mode,
+    the VMM unpins them and its page type/count info stays coherent before
+    the rebuild re-pins the restored tables."""
+    mem = kernel.machine.memory
+    kernel.scheduler.current = None
+    kernel.scheduler.runqueue.clear()
+    kernel.procs.tasks.clear()
+    for aspace in list(kernel.aspaces):
+        kernel.unregister_aspace(aspace)
+        kernel.vo.destroy_address_space(cpu, aspace)
+    for frame in list(mem.frames_owned_by(kernel.owner_id)):
+        mem.free(int(frame))
+    kernel.vmem._frame_refs.clear()
+    kernel.fs.inodes.clear()
+    kernel.fs.cache.invalidate()
+
+
+def _rebuild(kernel: "Kernel", image: CheckpointImage, cpu: "Cpu") -> None:
+    mem = kernel.machine.memory
+
+    # frames: allocate fresh ones on this machine and remap every reference
+    # (the pseudo-physical -> physical translation of §3.2.2; the target's
+    # frame numbering never matches the source's)
+    fmap: dict[int, int] = {}
+    for old_frame, content in image.frames.items():
+        new_frame = mem.alloc(kernel.owner_id)
+        fmap[old_frame] = new_frame
+        if content is not None:
+            mem.write(new_frame, copy.deepcopy(content))
+        cpu.charge(CYC_SNAPSHOT_PER_FRAME)
+    kernel.vmem._frame_refs = {fmap[f]: n for f, n in image.frame_refs.items()
+                               if f in fmap}
+
+    # address spaces: rebuild the structural objects over the new frames
+    restored_aspaces: list[AddressSpace] = []
+    for a_img in image.aspaces:
+        aspace = _rebuild_aspace(kernel, a_img, fmap)
+        kernel.register_aspace(aspace)
+        restored_aspaces.append(aspace)
+        if kernel.vo.is_virtual:
+            kernel.vo.new_address_space(cpu, aspace)
+
+    # tasks
+    by_pid: dict[int, Task] = {}
+    for t_img in image.tasks:
+        task = Task(pid=t_img.pid, name=t_img.name,
+                    aspace=restored_aspaces[t_img.aspace_index],
+                    state=TaskState(t_img.state),
+                    brk=t_img.brk, exit_code=t_img.exit_code,
+                    stack_cached_selector_dpl=t_img.selector_dpl)
+        task.vmas = [v.clone() for v in t_img.vmas]
+        task.fds = {fd: list(v) for fd, v in t_img.fds.items()}
+        task.next_fd = t_img.next_fd
+        by_pid[task.pid] = task
+        kernel.procs.tasks[task.pid] = task
+    for t_img in image.tasks:
+        if t_img.parent_pid is not None and t_img.parent_pid in by_pid:
+            by_pid[t_img.pid].parent = by_pid[t_img.parent_pid]
+    kernel.procs._next_pid = image.next_pid
+
+    # scheduler
+    for pid in image.runqueue_pids:
+        if pid in by_pid:
+            kernel.scheduler.runqueue.append(by_pid[pid])
+    if image.current_pid is not None and image.current_pid in by_pid:
+        current = by_pid[image.current_pid]
+        current.state = TaskState.READY
+        kernel.scheduler.context_switch(cpu, current)
+
+    # filesystem
+    kernel.fs.inodes = copy.deepcopy(image.fs_inodes)
+    kernel.fs._next_block = image.fs_next_block
+    if image.disk_blocks is not None:
+        kernel.machine.disk.blocks.update(image.disk_blocks)
+
+
+def _rebuild_aspace(kernel: "Kernel", a_img: AspaceImage,
+                    fmap: dict[int, int]) -> AddressSpace:
+    """Reconstruct an AddressSpace over the remapped frames — including the
+    page-table pages themselves, so the VMM's view after a later
+    attach/pin is structurally identical to the snapshot."""
+    from repro.hw.paging import PageTablePage
+
+    mem = kernel.machine.memory
+    aspace = AddressSpace.__new__(AddressSpace)
+    aspace.mem = mem
+    aspace.owner = kernel.owner_id
+    pgd_frame = fmap[a_img.pgd_frame]
+    aspace.pgd = PageTablePage(pgd_frame, level=2)
+    mem.frame_objects[pgd_frame] = aspace.pgd
+    for pgd_idx, leaf_frame in a_img.leaf_frames.items():
+        leaf = PageTablePage(fmap[leaf_frame], level=1)
+        aspace.pgd.entries[pgd_idx] = leaf
+        mem.frame_objects[fmap[leaf_frame]] = leaf
+    for vaddr, (frame, present, writable, user, cow) in a_img.ptes.items():
+        aspace.set_pte(vaddr, Pte(frame=fmap[frame], present=present,
+                                  writable=writable, user=user, cow=cow))
+    return aspace

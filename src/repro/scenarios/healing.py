@@ -1,0 +1,195 @@
+"""Self-healing of operating systems (§6.2).
+
+Sensors monitor the OS for anomalies; when one fires, the OS is
+self-virtualized into partial-virtual mode, the pre-cached VMM — which has
+full control over the operating system — repairs the tainted state, and is
+detached again.  No remote repair machine (the paper's contrast with
+Backdoors-style healing) and no steady-state overhead.
+
+A :class:`Sensor` pairs a detector with a repairer.  Built-in sensors cover
+the kinds of state corruption the tests inject: scheduler runqueue damage,
+process-table inconsistencies, filesystem metadata corruption, and frame
+reference-count skew.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.core.mercury import Mercury, Mode
+from repro.errors import HealingError
+from repro.guestos.process import TaskState
+
+if TYPE_CHECKING:
+    from repro.guestos.kernel import Kernel
+    from repro.hw.cpu import Cpu
+
+#: cycles the VMM spends introspecting + repairing per detected anomaly
+CYC_REPAIR = 60_000
+
+
+@dataclass
+class Sensor:
+    """One anomaly detector + repairer pair.
+
+    ``detect(kernel) -> bool`` (True = anomaly present);
+    ``repair(kernel, cpu)`` fixes the state (runs with the VMM attached)."""
+
+    name: str
+    detect: Callable[["Kernel"], bool]
+    repair: Callable[["Kernel", "Cpu"], None]
+    fires: int = 0
+
+
+@dataclass
+class HealingRecord:
+    sensor_name: str
+    detected_at_cycles: int
+    repair_cycles: int
+    healed: bool
+
+
+class SelfHealer:
+    """Monitors a self-virtualized OS and heals it through the VMM."""
+
+    def __init__(self, mercury: Mercury,
+                 sensors: Optional[list[Sensor]] = None):
+        self.mercury = mercury
+        self.sensors = sensors if sensors is not None else default_sensors()
+        self.history: list[HealingRecord] = []
+
+    def scan(self, cpu: Optional["Cpu"] = None) -> list[HealingRecord]:
+        """One monitoring pass: run every sensor; heal anything that
+        fires.  The VMM is attached at most once per pass (§6.2: 'it incurs
+        no performance degradation as the VMM is only required during
+        system healing')."""
+        mercury = self.mercury
+        kernel = mercury.kernel
+        cpu = cpu or mercury.machine.boot_cpu
+
+        firing = [s for s in self.sensors if s.detect(kernel)]
+        if not firing:
+            return []
+
+        was_native = mercury.mode is Mode.NATIVE
+        if was_native:
+            mercury.attach(cpu)
+        records = []
+        try:
+            for sensor in firing:
+                sensor.fires += 1
+                t0 = mercury.machine.clock.cycles
+                cpu.charge(CYC_REPAIR)
+                sensor.repair(kernel, cpu)
+                healed = not sensor.detect(kernel)
+                records.append(HealingRecord(
+                    sensor_name=sensor.name,
+                    detected_at_cycles=t0,
+                    repair_cycles=mercury.machine.clock.cycles - t0,
+                    healed=healed))
+                if not healed:
+                    raise HealingError(
+                        f"sensor {sensor.name!r} could not repair the anomaly")
+        finally:
+            self.history.extend(records)
+            if was_native and mercury.mode is not Mode.NATIVE:
+                mercury.detach(cpu)
+        return records
+
+
+# ---------------------------------------------------------------------------
+# built-in sensors
+# ---------------------------------------------------------------------------
+
+def _detect_runqueue_damage(kernel: "Kernel") -> bool:
+    """Zombie or duplicate entries on the runqueue."""
+    seen = set()
+    for task in kernel.scheduler.runqueue:
+        if task.state == TaskState.ZOMBIE or task.pid in seen:
+            return True
+        seen.add(task.pid)
+    return False
+
+
+def _repair_runqueue(kernel: "Kernel", cpu: "Cpu") -> None:
+    seen = set()
+    fixed = []
+    for task in kernel.scheduler.runqueue:
+        if task.state != TaskState.ZOMBIE and task.pid not in seen:
+            fixed.append(task)
+            seen.add(task.pid)
+    kernel.scheduler.runqueue.clear()
+    kernel.scheduler.runqueue.extend(fixed)
+
+
+def _detect_proc_table_skew(kernel: "Kernel") -> bool:
+    """A task whose pid key disagrees with the task, or a dangling parent."""
+    for pid, task in kernel.procs.tasks.items():
+        if task.pid != pid:
+            return True
+        if task.parent is not None and \
+                task.parent.pid not in kernel.procs.tasks and \
+                task.parent.state != TaskState.ZOMBIE:
+            return True
+    return False
+
+
+def _repair_proc_table(kernel: "Kernel", cpu: "Cpu") -> None:
+    fixed = {}
+    for pid, task in kernel.procs.tasks.items():
+        task.pid = pid
+        if task.parent is not None and \
+                task.parent.pid not in kernel.procs.tasks:
+            task.parent = None  # reparent to init semantics
+        fixed[pid] = task
+    kernel.procs.tasks = fixed
+
+
+def _detect_fs_corruption(kernel: "Kernel") -> bool:
+    """An inode whose size disagrees with its block list, or negative
+    link counts."""
+    from repro.guestos.fs import BLOCK_SIZE
+    for inode in kernel.fs.inodes.values():
+        if inode.nlink < 0:
+            return True
+        if inode.size > len(inode.blocks) * BLOCK_SIZE:
+            return True
+    return False
+
+
+def _repair_fs(kernel: "Kernel", cpu: "Cpu") -> None:
+    from repro.guestos.fs import BLOCK_SIZE
+    for inode in kernel.fs.inodes.values():
+        if inode.nlink < 0:
+            inode.nlink = 1
+        if inode.size > len(inode.blocks) * BLOCK_SIZE:
+            inode.size = len(inode.blocks) * BLOCK_SIZE
+
+
+def _detect_frame_ref_skew(kernel: "Kernel") -> bool:
+    """A COW share count for a frame nobody maps."""
+    mapped = set()
+    for aspace in kernel.aspaces:
+        mapped.update(aspace.mapped_frames())
+    return any(f not in mapped for f in kernel.vmem._frame_refs)
+
+
+def _repair_frame_refs(kernel: "Kernel", cpu: "Cpu") -> None:
+    mapped = set()
+    for aspace in kernel.aspaces:
+        mapped.update(aspace.mapped_frames())
+    for frame in [f for f in kernel.vmem._frame_refs if f not in mapped]:
+        del kernel.vmem._frame_refs[frame]
+        if kernel.machine.memory.owner_of(frame) == kernel.owner_id:
+            kernel.machine.memory.free(frame)
+
+
+def default_sensors() -> list[Sensor]:
+    """The standard sensor suite."""
+    return [
+        Sensor("runqueue", _detect_runqueue_damage, _repair_runqueue),
+        Sensor("proc-table", _detect_proc_table_skew, _repair_proc_table),
+        Sensor("fs-metadata", _detect_fs_corruption, _repair_fs),
+        Sensor("frame-refs", _detect_frame_ref_skew, _repair_frame_refs),
+    ]

@@ -1,0 +1,131 @@
+"""Live updating operating systems (§6.4).
+
+LUCOS-style kernel patching, but without LUCOS's always-on VMM: "When
+there is a need to perform a live update, a VMM could be dynamically
+attached and the operating systems could be turned into partial-virtual
+mode.  The attached VMM then applies the live update and is detached when
+the live update is completed."
+
+A :class:`KernelPatch` replaces a syscall handler (the simulator's stand-in
+for patching kernel text) and may carry a state transformer (for patches
+that change data layouts) plus a validator.  The updater quiesces the
+kernel at a safe point (VO refcount zero — the same safety condition as a
+mode switch), applies under the VMM, validates, and can roll back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.core.mercury import Mercury, Mode
+from repro.errors import LiveUpdateError
+from repro.guestos.syscalls import SYSCALL_TABLE
+
+if TYPE_CHECKING:
+    from repro.guestos.kernel import Kernel
+    from repro.hw.cpu import Cpu
+
+#: cycles the VMM spends applying one patch (map kernel text, write
+#: trampolines, flush icache)
+CYC_APPLY_PATCH = 45_000
+
+
+@dataclass
+class KernelPatch:
+    """One live update."""
+
+    name: str
+    target_syscall: str
+    replacement: Callable
+    #: optional data-state transformer run under the VMM
+    state_transform: Optional[Callable[["Kernel"], None]] = None
+    #: must return True on a healthy post-patch kernel
+    validator: Optional[Callable[["Kernel"], bool]] = None
+
+
+@dataclass
+class UpdateRecord:
+    patch: KernelPatch
+    applied_at_cycles: int
+    attach_us: float
+    detach_us: float
+    rolled_back: bool = False
+
+
+class LiveUpdater:
+    """Applies kernel patches through a transiently-attached VMM."""
+
+    def __init__(self, mercury: Mercury):
+        self.mercury = mercury
+        self.history: list[UpdateRecord] = []
+        self._saved: dict[str, Callable] = {}
+
+    def apply(self, patch: KernelPatch,
+              cpu: Optional["Cpu"] = None) -> UpdateRecord:
+        """The full §6.4 flow: attach, patch, validate, detach."""
+        mercury = self.mercury
+        kernel = mercury.kernel
+        cpu = cpu or mercury.machine.boot_cpu
+        if patch.target_syscall not in SYSCALL_TABLE:
+            raise LiveUpdateError(
+                f"patch {patch.name!r} targets unknown syscall "
+                f"{patch.target_syscall!r}")
+
+        was_native = mercury.mode is Mode.NATIVE
+        attach_us = 0.0
+        if was_native:
+            rec = mercury.attach(cpu)
+            attach_us = rec.us(cpu.cost.freq_mhz)
+
+        # safe point: nobody inside virtualization-sensitive code
+        if kernel.vo.busy():
+            raise LiveUpdateError("kernel not quiescent; retry later")
+
+        cpu.charge(CYC_APPLY_PATCH)
+        self._saved.setdefault(patch.target_syscall,
+                               kernel.syscall_overrides.get(
+                                   patch.target_syscall,
+                                   SYSCALL_TABLE[patch.target_syscall]))
+        kernel.syscall_overrides[patch.target_syscall] = patch.replacement
+        if patch.state_transform is not None:
+            patch.state_transform(kernel)
+
+        rolled_back = False
+        if patch.validator is not None and not patch.validator(kernel):
+            # roll back under the same VMM
+            kernel.syscall_overrides[patch.target_syscall] = \
+                self._saved[patch.target_syscall]
+            rolled_back = True
+
+        detach_us = 0.0
+        if was_native:
+            rec = mercury.detach(cpu)
+            detach_us = rec.us(cpu.cost.freq_mhz)
+
+        record = UpdateRecord(patch=patch,
+                              applied_at_cycles=mercury.machine.clock.cycles,
+                              attach_us=attach_us, detach_us=detach_us,
+                              rolled_back=rolled_back)
+        self.history.append(record)
+        if rolled_back:
+            raise LiveUpdateError(
+                f"patch {patch.name!r} failed validation; rolled back")
+        return record
+
+    def revert(self, patch: KernelPatch,
+               cpu: Optional["Cpu"] = None) -> None:
+        """Undo a previously applied patch (again through the VMM)."""
+        mercury = self.mercury
+        kernel = mercury.kernel
+        cpu = cpu or mercury.machine.boot_cpu
+        original = self._saved.get(patch.target_syscall)
+        if original is None:
+            raise LiveUpdateError(f"patch {patch.name!r} was never applied")
+        was_native = mercury.mode is Mode.NATIVE
+        if was_native:
+            mercury.attach(cpu)
+        cpu.charge(CYC_APPLY_PATCH)
+        kernel.syscall_overrides[patch.target_syscall] = original
+        if was_native:
+            mercury.detach(cpu)

@@ -1,0 +1,110 @@
+"""Periodic checkpointing (§6.1's deployment mode).
+
+"By checkpointing the execution environment periodically and restarting
+the execution from a specific checkpoint during a failure, they provide
+proactive fault-tolerant features to many mission-critical systems."
+
+:class:`CheckpointSchedule` arms a repeating timer on the machine clock;
+each firing attaches the pre-cached VMM, snapshots, detaches, and retains
+the most recent ``keep`` images.  Recovery rolls back to the newest (or
+any retained) image.  The interesting quantity — asserted in tests — is
+the *work lost* upper bound: at most one period plus the failure-detection
+lag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.mercury import Mercury
+from repro.errors import CheckpointError
+from repro.scenarios.checkpoint import CheckpointImage, checkpoint, restore
+
+if TYPE_CHECKING:
+    from repro.hw.cpu import Cpu
+
+
+@dataclass
+class RetainedImage:
+    image: CheckpointImage
+    taken_at_cycles: int
+    sequence: int
+
+
+class CheckpointSchedule:
+    """Periodic, timer-driven checkpoints with bounded retention."""
+
+    def __init__(self, mercury: Mercury, period_ms: float = 1000.0,
+                 keep: int = 3):
+        if keep < 1:
+            raise CheckpointError("must retain at least one image")
+        self.mercury = mercury
+        self.period_ms = period_ms
+        self.keep = keep
+        self.images: list[RetainedImage] = []
+        self._armed = False
+        self._sequence = 0
+
+    @property
+    def period_cycles(self) -> int:
+        freq = self.mercury.machine.config.cost.freq_mhz
+        return int(self.period_ms * 1000 * freq)
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._armed:
+            return
+        self._armed = True
+        self._arm()
+
+    def stop(self) -> None:
+        self._armed = False
+
+    def _arm(self) -> None:
+        def fire() -> None:
+            if not self._armed:
+                return
+            self.take_now()
+            self._arm()
+        self.mercury.machine.clock.schedule(self.period_cycles, fire)
+
+    def take_now(self, cpu: Optional["Cpu"] = None) -> RetainedImage:
+        """One checkpoint, immediately (also the timer's body)."""
+        image = checkpoint(self.mercury, cpu)
+        retained = RetainedImage(
+            image=image,
+            taken_at_cycles=self.mercury.machine.clock.cycles,
+            sequence=self._sequence)
+        self._sequence += 1
+        self.images.append(retained)
+        while len(self.images) > self.keep:
+            self.images.pop(0)
+        return retained
+
+    # ------------------------------------------------------------------
+
+    def latest(self) -> RetainedImage:
+        if not self.images:
+            raise CheckpointError("no checkpoint retained yet")
+        return self.images[-1]
+
+    def recover(self, cpu: Optional["Cpu"] = None,
+                sequence: Optional[int] = None) -> RetainedImage:
+        """Roll the OS back to the newest (or a specific) retained image."""
+        if sequence is None:
+            chosen = self.latest()
+        else:
+            matches = [r for r in self.images if r.sequence == sequence]
+            if not matches:
+                raise CheckpointError(f"no retained image #{sequence}")
+            chosen = matches[0]
+        restore(chosen.image, self.mercury, cpu)
+        return chosen
+
+    def work_at_risk_cycles(self) -> int:
+        """Upper bound on lost work if the OS died right now."""
+        if not self.images:
+            return self.mercury.machine.clock.cycles
+        return self.mercury.machine.clock.cycles - self.latest().taken_at_cycles

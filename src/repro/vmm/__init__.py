@@ -1,0 +1,29 @@
+"""A Xen-like virtual machine monitor (the substrate Mercury attaches).
+
+The pieces mirror Xen 3.0.2 as the paper used it:
+
+- :mod:`repro.vmm.hypervisor` — the VMM core: warm-up (pre-caching),
+  activation/deactivation, trap handling, hypercall dispatch.
+- :mod:`repro.vmm.domain` — domains and VCPUs.
+- :mod:`repro.vmm.page_info` — per-frame owner/type/count tracking with
+  page-table pinning and validation (direct paging mode, §3.2.2).
+- :mod:`repro.vmm.hypercalls` — the hypercall table.
+- :mod:`repro.vmm.events` — event channels (virtual interrupts).
+- :mod:`repro.vmm.grants` — grant tables (page sharing for split I/O).
+- :mod:`repro.vmm.rings` — shared-memory I/O rings.
+- :mod:`repro.vmm.backend` — blkback/netback drivers in the driver domain.
+- :mod:`repro.vmm.sched_credit` — the credit VCPU scheduler.
+"""
+
+from repro.vmm.domain import Domain, Vcpu
+from repro.vmm.hypervisor import Hypervisor, VmmState
+from repro.vmm.page_info import PageInfoTable, PageType
+
+__all__ = [
+    "Domain",
+    "Hypervisor",
+    "PageInfoTable",
+    "PageType",
+    "Vcpu",
+    "VmmState",
+]

@@ -1,0 +1,91 @@
+"""Event channels — Xen's virtual interrupts.
+
+An event channel is a port pair binding two endpoints (domain, port).  The
+VMM turns hardware interrupts and inter-domain notifications into events;
+the guest receives them through an upcall.  Under the split-driver model the
+frontend and backend notify each other over an event channel after posting
+ring entries (§5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.errors import VMMError
+
+if TYPE_CHECKING:
+    from repro.hw.cpu import Cpu
+    from repro.vmm.domain import Domain
+
+
+@dataclass
+class Channel:
+    port: int
+    owner_domain: int
+    peer_domain: Optional[int] = None
+    peer_port: Optional[int] = None
+    #: upcall invoked on the owner when the channel fires
+    handler: Optional[Callable[[], None]] = None
+    pending: bool = False
+    masked: bool = False
+    fires: int = 0
+
+
+class EventChannels:
+    """The machine-wide event-channel table."""
+
+    def __init__(self):
+        self._channels: dict[tuple[int, int], Channel] = {}
+        self._next_port: dict[int, int] = {}
+
+    def alloc(self, domain_id: int,
+              handler: Optional[Callable[[], None]] = None) -> Channel:
+        port = self._next_port.get(domain_id, 1)
+        self._next_port[domain_id] = port + 1
+        ch = Channel(port=port, owner_domain=domain_id, handler=handler)
+        self._channels[(domain_id, port)] = ch
+        return ch
+
+    def connect(self, a: Channel, b: Channel) -> None:
+        """Bind two channels into an inter-domain pair."""
+        a.peer_domain, a.peer_port = b.owner_domain, b.port
+        b.peer_domain, b.peer_port = a.owner_domain, a.port
+
+    def lookup(self, domain_id: int, port: int) -> Channel:
+        try:
+            return self._channels[(domain_id, port)]
+        except KeyError:
+            raise VMMError(f"no event channel ({domain_id}, {port})") from None
+
+    def send(self, cpu: "Cpu", from_ch: Channel) -> None:
+        """Notify the peer of ``from_ch``: mark pending and deliver the
+        upcall if unmasked.  Charges the event-channel cost."""
+        if from_ch.peer_domain is None:
+            raise VMMError(f"channel {from_ch.port} is not connected")
+        peer = self.lookup(from_ch.peer_domain, from_ch.peer_port)
+        cpu.charge(cpu.cost.cyc_event_channel)
+        peer.pending = True
+        peer.fires += 1
+        if not peer.masked and peer.handler is not None:
+            peer.pending = False
+            peer.handler()
+
+    def unmask(self, cpu: "Cpu", ch: Channel) -> None:
+        ch.masked = False
+        if ch.pending and ch.handler is not None:
+            ch.pending = False
+            cpu.charge(cpu.cost.cyc_event_channel)
+            ch.handler()
+
+    def mask(self, ch: Channel) -> None:
+        ch.masked = True
+
+    def close_domain(self, domain_id: int) -> None:
+        """Tear down every channel a dying domain owns."""
+        for key in [k for k in self._channels if k[0] == domain_id]:
+            ch = self._channels.pop(key)
+            if ch.peer_domain is not None:
+                peer = self._channels.get((ch.peer_domain, ch.peer_port))
+                if peer is not None:
+                    peer.peer_domain = peer.peer_port = None

@@ -1,0 +1,89 @@
+"""Grant tables — controlled page sharing between domains.
+
+A domain *grants* a peer access to one of its frames by filling a grant
+entry; the peer *maps* the grant (paying a map cost) and later unmaps it.
+Split-driver I/O rides on grants: the frontend grants the pages holding
+request payloads, the backend maps them to read/write the data (§5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import GrantError
+
+if TYPE_CHECKING:
+    from repro.hw.cpu import Cpu
+    from repro.hw.memory import PhysicalMemory
+
+
+@dataclass
+class GrantEntry:
+    ref: int
+    granting_domain: int
+    frame: int
+    peer_domain: int
+    readonly: bool
+    active_maps: int = 0
+    revoked: bool = False
+
+
+class GrantTable:
+    """Machine-wide grant state (per-domain tables keyed by domain id)."""
+
+    def __init__(self, mem: "PhysicalMemory"):
+        self.mem = mem
+        self._entries: dict[tuple[int, int], GrantEntry] = {}
+        self._next_ref: dict[int, int] = {}
+
+    def grant(self, granting_domain: int, frame: int, peer_domain: int,
+              readonly: bool = False) -> GrantEntry:
+        """Create a grant of ``frame`` to ``peer_domain``."""
+        if self.mem.owner_of(frame) != granting_domain:
+            raise GrantError(
+                f"domain {granting_domain} granting frame {frame} it does not own")
+        ref = self._next_ref.get(granting_domain, 1)
+        self._next_ref[granting_domain] = ref + 1
+        entry = GrantEntry(ref, granting_domain, frame, peer_domain, readonly)
+        self._entries[(granting_domain, ref)] = entry
+        return entry
+
+    def map(self, cpu: "Cpu", mapping_domain: int, granting_domain: int,
+            ref: int) -> GrantEntry:
+        """Map a granted frame into the peer.  Charges the map cost."""
+        entry = self._lookup(granting_domain, ref)
+        if entry.revoked:
+            raise GrantError(f"grant {ref} of domain {granting_domain} is revoked")
+        if entry.peer_domain != mapping_domain:
+            raise GrantError(
+                f"grant {ref} is for domain {entry.peer_domain}, "
+                f"not {mapping_domain}")
+        cpu.charge(cpu.cost.cyc_grant_map)
+        entry.active_maps += 1
+        return entry
+
+    def unmap(self, cpu: "Cpu", granting_domain: int, ref: int) -> None:
+        entry = self._lookup(granting_domain, ref)
+        if entry.active_maps <= 0:
+            raise GrantError(f"grant {ref} is not mapped")
+        cpu.charge(cpu.cost.cyc_grant_map)
+        entry.active_maps -= 1
+
+    def revoke(self, granting_domain: int, ref: int) -> None:
+        """End a grant; refuses while mappings are active (as Xen does)."""
+        entry = self._lookup(granting_domain, ref)
+        if entry.active_maps > 0:
+            raise GrantError(f"grant {ref} still has {entry.active_maps} mappings")
+        entry.revoked = True
+
+    def active_grants_of(self, domain_id: int) -> list[GrantEntry]:
+        return [e for (d, _), e in self._entries.items()
+                if d == domain_id and not e.revoked]
+
+    def _lookup(self, granting_domain: int, ref: int) -> GrantEntry:
+        try:
+            return self._entries[(granting_domain, ref)]
+        except KeyError:
+            raise GrantError(
+                f"no grant {ref} in domain {granting_domain}") from None

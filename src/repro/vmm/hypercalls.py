@@ -1,0 +1,220 @@
+"""The hypercall table — the services a para-virtualized guest calls
+instead of executing privileged instructions (§3.2.1).
+
+Names and shapes follow Xen 3.x: ``mmu_update`` batches page-table writes,
+``mmuext_op`` carries pin/unpin/flush operations, ``update_va_mapping`` is
+the single-PTE fast path, ``set_trap_table`` registers guest interrupt
+handlers, ``event_channel_op``/``grant_table_op`` drive the inter-domain
+plumbing, and ``sched_op`` yields/blocks the calling VCPU.
+
+Each function receives ``(vmm, cpu, domain, *args)``; argument validation
+errors raise :class:`~repro.errors.HypercallError` and page-table safety
+violations raise :class:`~repro.errors.PageValidationError` — a guest can
+*never* corrupt another domain through these paths, and tests prove it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.errors import HypercallError
+
+if TYPE_CHECKING:
+    from repro.hw.cpu import Cpu
+    from repro.hw.paging import AddressSpace, Pte
+    from repro.vmm.domain import Domain
+    from repro.vmm.hypervisor import Hypervisor
+
+
+def _require_registered(domain: "Domain", aspace: "AddressSpace") -> None:
+    if aspace not in domain.aspaces:
+        raise HypercallError(
+            f"domain {domain.domain_id} used an unregistered address space")
+
+
+# ---------------------------------------------------------------------------
+# memory management
+# ---------------------------------------------------------------------------
+
+def mmu_update(vmm: "Hypervisor", cpu: "Cpu", domain: "Domain",
+               updates: list, per_pte_cycles: Optional[int] = None) -> int:
+    """Apply a batch of page-table updates.
+
+    ``updates`` is a list of ``(aspace, vaddr, pte_or_None)`` tuples: a Pte
+    installs/replaces a mapping, None clears one.  Every update is validated
+    against the page-info table before being applied.  Charged at the
+    *batched* per-PTE rate unless the caller overrides (the unbatched
+    ``update_va_mapping`` path costs more per entry)."""
+    rate = per_pte_cycles if per_pte_cycles is not None \
+        else cpu.cost.cyc_mmu_update_batched
+    applied = 0
+    for aspace, vaddr, pte in updates:
+        _require_registered(domain, aspace)
+        cpu.charge(rate)
+        old = aspace.get_pte(vaddr)
+        if pte is None:
+            removed = aspace.clear_pte(vaddr)
+            vmm.page_info.account_pte_clear(cpu, removed)
+            cpu.tlb.invalidate(vaddr // 4096)
+        else:
+            vmm.page_info.validate_pte_write(cpu, pte, domain.domain_id)
+            if old is not None:
+                vmm.page_info.account_pte_clear(cpu, old)
+            aspace.set_pte(vaddr, pte)
+            # the write may have instantiated a new leaf PT page under a
+            # pinned PGD (an L2-entry install): validate-and-adopt it
+            leaf = aspace.leaf_for(vaddr)
+            if aspace.pgd.frame in vmm.page_info.pinned and \
+                    not vmm.page_info.is_pt_frame(leaf.frame):
+                vmm.page_info.adopt_new_leaf(cpu, leaf)
+            cpu.tlb.invalidate(vaddr // 4096)
+        applied += 1
+    return applied
+
+
+def update_va_mapping(vmm: "Hypervisor", cpu: "Cpu", domain: "Domain",
+                      aspace: "AddressSpace", vaddr: int,
+                      pte: Optional["Pte"]) -> None:
+    """Single-PTE fast path (Xen's most common hypercall)."""
+    mmu_update(vmm, cpu, domain, [(aspace, vaddr, pte)],
+               per_pte_cycles=cpu.cost.cyc_mmu_update_per_pte)
+
+
+def mmuext_op(vmm: "Hypervisor", cpu: "Cpu", domain: "Domain",
+              op: str, aspace: Optional["AddressSpace"] = None,
+              vaddr: int = 0) -> None:
+    """Extended MMU operations: pin/unpin page tables, TLB management."""
+    if op == "pin_table":
+        _require_registered(domain, aspace)
+        vmm.page_info.validate_pgd(cpu, aspace, domain.domain_id)
+    elif op == "unpin_table":
+        _require_registered(domain, aspace)
+        vmm.page_info.unpin_aspace(cpu, aspace)
+    elif op == "new_baseptr":
+        _require_registered(domain, aspace)
+        vmm._emulate_cr3_load(cpu, aspace.pgd_frame)
+    elif op == "tlb_flush_local":
+        cpu.charge(cpu.cost.cyc_tlb_flush)
+        cpu.tlb.flush()
+    elif op == "invlpg_local":
+        cpu.tlb.invalidate(vaddr // 4096)
+    else:
+        raise HypercallError(f"unknown mmuext op {op!r}")
+
+
+# ---------------------------------------------------------------------------
+# CPU state
+# ---------------------------------------------------------------------------
+
+def set_trap_table(vmm: "Hypervisor", cpu: "Cpu", domain: "Domain",
+                   table: dict) -> None:
+    """Register the guest's interrupt/exception handlers with the VMM."""
+    domain.trap_table = dict(table)
+    if vmm.active and domain.is_driver_domain:
+        vmm.install_idt_for(domain)
+
+
+def stack_switch(vmm: "Hypervisor", cpu: "Cpu", domain: "Domain",
+                 kernel_sp: int = 0) -> None:
+    """Tell the VMM the guest kernel stack for the next entry (charged on
+    every guest context switch — a visible chunk of the Xen ctx overhead)."""
+    # state is per-vcpu; the cost is the point here
+    vcpu = vmm._vcpu_of(cpu)
+    if vcpu is not None:
+        vcpu.kernel_sp = kernel_sp  # type: ignore[attr-defined]
+
+
+def set_gdt(vmm: "Hypervisor", cpu: "Cpu", domain: "Domain",
+            dpl: int) -> None:
+    """Install guest segment descriptors (the VMM forces kernel segments to
+    the de-privileged level — §5.1.2 item 2)."""
+    if dpl < 1:
+        raise HypercallError("guest may not install PL0 segments")
+    for desc in cpu.gdt.values():
+        desc.dpl = dpl
+
+
+def vm_assist(vmm: "Hypervisor", cpu: "Cpu", domain: "Domain",
+              feature: str, enable: bool) -> None:
+    """Toggle guest assists (writable page tables, 4 GB segments, ...)."""
+    assists = getattr(domain, "assists", None)
+    if assists is None:
+        assists = domain.assists = set()  # type: ignore[attr-defined]
+    if enable:
+        assists.add(feature)
+    else:
+        assists.discard(feature)
+
+
+# ---------------------------------------------------------------------------
+# events / grants / scheduling
+# ---------------------------------------------------------------------------
+
+def event_channel_op(vmm: "Hypervisor", cpu: "Cpu", domain: "Domain",
+                     op: str, *args):
+    ev = vmm.events
+    if op == "alloc":
+        return ev.alloc(domain.domain_id, *args)
+    if op == "send":
+        (channel,) = args
+        if channel.owner_domain != domain.domain_id:
+            raise HypercallError("sending on a foreign channel")
+        ev.send(cpu, channel)
+        return None
+    if op == "unmask":
+        (channel,) = args
+        ev.unmask(cpu, channel)
+        return None
+    raise HypercallError(f"unknown event op {op!r}")
+
+
+def grant_table_op(vmm: "Hypervisor", cpu: "Cpu", domain: "Domain",
+                   op: str, *args):
+    gt = vmm.grants
+    if op == "grant":
+        frame, peer, readonly = args
+        return gt.grant(domain.domain_id, frame, peer, readonly)
+    if op == "map":
+        granting_domain, ref = args
+        return gt.map(cpu, domain.domain_id, granting_domain, ref)
+    if op == "unmap":
+        granting_domain, ref = args
+        gt.unmap(cpu, granting_domain, ref)
+        return None
+    raise HypercallError(f"unknown grant op {op!r}")
+
+
+def sched_op(vmm: "Hypervisor", cpu: "Cpu", domain: "Domain", op: str):
+    sched = vmm.scheduler
+    vcpu = vmm._vcpu_of(cpu)
+    if op == "yield":
+        return sched.pick_next()
+    if op == "block":
+        if vcpu is not None:
+            sched.block(vcpu)
+        return sched.pick_next()
+    raise HypercallError(f"unknown sched op {op!r}")
+
+
+def console_io(vmm: "Hypervisor", cpu: "Cpu", domain: "Domain",
+               message: str) -> None:
+    log = getattr(vmm, "console_log", None)
+    if log is None:
+        log = vmm.console_log = []  # type: ignore[attr-defined]
+    log.append((domain.domain_id, message))
+
+
+#: the dispatch table used by :meth:`Hypervisor.hypercall`
+HYPERCALL_TABLE: dict[str, Callable] = {
+    "mmu_update": mmu_update,
+    "update_va_mapping": update_va_mapping,
+    "mmuext_op": mmuext_op,
+    "set_trap_table": set_trap_table,
+    "stack_switch": stack_switch,
+    "set_gdt": set_gdt,
+    "vm_assist": vm_assist,
+    "event_channel_op": event_channel_op,
+    "grant_table_op": grant_table_op,
+    "sched_op": sched_op,
+    "console_io": console_io,
+}

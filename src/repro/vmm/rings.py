@@ -1,0 +1,94 @@
+"""Shared-memory I/O rings — the Xen frontend/backend transport (§5.2).
+
+One ring lives in a shared page and carries fixed-size request and response
+slots with free-running producer/consumer indices (Xen's ``RING_*`` macros).
+The frontend produces requests and consumes responses; the backend does the
+opposite.  Indices only ever increase; slot positions are ``index % size``.
+Protocol violations (overrun, consuming past the producer) raise
+:class:`~repro.errors.RingError` — property tests hammer these invariants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generic, Optional, TypeVar
+
+from repro.errors import RingError
+
+T = TypeVar("T")
+
+
+@dataclass
+class RingCounters:
+    req_prod: int = 0
+    req_cons: int = 0
+    rsp_prod: int = 0
+    rsp_cons: int = 0
+
+
+class IoRing(Generic[T]):
+    """One front/back ring pair of ``size`` slots (power of two)."""
+
+    def __init__(self, size: int = 32):
+        if size <= 0 or size & (size - 1):
+            raise RingError(f"ring size must be a power of two, got {size}")
+        self.size = size
+        self.c = RingCounters()
+        self._req: list[Optional[T]] = [None] * size
+        self._rsp: list[Optional[T]] = [None] * size
+
+    # -- frontend side ----------------------------------------------------
+
+    def push_request(self, req: T) -> None:
+        # A request slot is reusable once its *response* has been consumed;
+        # in-flight work (produced requests + pending responses) may never
+        # exceed the ring size.
+        if self.c.req_prod - self.c.rsp_cons >= self.size:
+            raise RingError("request ring full")
+        self._req[self.c.req_prod % self.size] = req
+        self.c.req_prod += 1
+
+    def pop_response(self) -> T:
+        if self.c.rsp_cons >= self.c.rsp_prod:
+            raise RingError("no responses to consume")
+        rsp = self._rsp[self.c.rsp_cons % self.size]
+        self.c.rsp_cons += 1
+        return rsp  # type: ignore[return-value]
+
+    def has_responses(self) -> bool:
+        return self.c.rsp_cons < self.c.rsp_prod
+
+    def free_request_slots(self) -> int:
+        return self.size - (self.c.req_prod - self.c.rsp_cons)
+
+    # -- backend side --------------------------------------------------------
+
+    def pop_request(self) -> T:
+        if self.c.req_cons >= self.c.req_prod:
+            raise RingError("no requests to consume")
+        req = self._req[self.c.req_cons % self.size]
+        self.c.req_cons += 1
+        return req  # type: ignore[return-value]
+
+    def has_requests(self) -> bool:
+        return self.c.req_cons < self.c.req_prod
+
+    def push_response(self, rsp: T) -> None:
+        # every response answers a consumed request, so rsp_prod can never
+        # pass req_cons
+        if self.c.rsp_prod >= self.c.req_cons:
+            raise RingError("response without a consumed request")
+        self._rsp[self.c.rsp_prod % self.size] = rsp
+        self.c.rsp_prod += 1
+
+    # -- invariants ------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        c = self.c
+        if not (c.rsp_cons <= c.rsp_prod <= c.req_cons <= c.req_prod):
+            raise RingError(f"index ordering violated: {c}")
+        if c.req_prod - c.rsp_cons > self.size:
+            raise RingError(f"ring overcommitted: {c}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"IoRing(size={self.size}, {self.c})"

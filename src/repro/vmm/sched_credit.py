@@ -1,0 +1,117 @@
+"""Credit VCPU scheduler (Xen 3's default).
+
+Each domain has a weight; every accounting period the scheduler hands out
+credits proportionally.  VCPUs that still hold credits run at UNDER
+priority, exhausted ones at OVER; within a priority class scheduling is
+round-robin.  The simulator uses it to decide which VCPU a physical CPU
+runs and to charge world-switch costs when hosting multiple domains
+(the X-U and M-U configurations).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import VMMError
+
+if TYPE_CHECKING:
+    from repro.vmm.domain import Domain, Vcpu
+
+#: credits handed to a weight-1.0 domain's VCPU per accounting period
+CREDITS_PER_PERIOD = 300
+#: cycles of runtime that consume one credit
+CYCLES_PER_CREDIT = 10_000
+
+
+class CreditScheduler:
+    """Weighted proportional-share scheduler over runnable VCPUs."""
+
+    def __init__(self):
+        self._domains: dict[int, "Domain"] = {}
+        self._weights: dict[int, float] = {}
+        self._under: deque["Vcpu"] = deque()
+        self._over: deque["Vcpu"] = deque()
+        self.world_switches = 0
+        self._current: Optional["Vcpu"] = None
+
+    def add_domain(self, domain: "Domain", weight: float = 1.0) -> None:
+        if weight <= 0:
+            raise VMMError(f"weight must be positive, got {weight}")
+        self._domains[domain.domain_id] = domain
+        self._weights[domain.domain_id] = weight
+        for vcpu in domain.vcpus:
+            vcpu.credits = int(CREDITS_PER_PERIOD * weight)
+            if vcpu.runnable:
+                self._under.append(vcpu)
+
+    def remove_domain(self, domain: "Domain") -> None:
+        self._domains.pop(domain.domain_id, None)
+        self._weights.pop(domain.domain_id, None)
+        vcpus = set(domain.vcpus)
+        self._under = deque(v for v in self._under if v not in vcpus)
+        self._over = deque(v for v in self._over if v not in vcpus)
+        if self._current in vcpus:
+            self._current = None
+
+    # -- scheduling ---------------------------------------------------------
+
+    def pick_next(self) -> Optional["Vcpu"]:
+        """Choose the next VCPU: UNDER first, then OVER, round-robin."""
+        for queue in (self._under, self._over):
+            rotations = len(queue)
+            for _ in range(rotations):
+                vcpu = queue[0]
+                queue.rotate(-1)
+                if vcpu.runnable and self._domains.get(vcpu.domain_id, None) is not None:
+                    if self._current is not vcpu:
+                        self.world_switches += 1
+                        self._current = vcpu
+                    return vcpu
+        return None
+
+    def charge_runtime(self, vcpu: "Vcpu", cycles: int) -> None:
+        """Debit credits for ``cycles`` of execution; demote to OVER when
+        exhausted."""
+        vcpu.runtime_cycles += cycles
+        vcpu.credits -= cycles // CYCLES_PER_CREDIT
+        if vcpu.credits <= 0 and vcpu in self._under:
+            self._under.remove(vcpu)
+            self._over.append(vcpu)
+
+    def accounting_tick(self) -> None:
+        """Periodic credit refresh: the period's credits are divided among
+        domains *proportionally to weight* (Xen's scheme — the total handed
+        out per period is fixed, so demand beyond a domain's share drains
+        it and demotes it to OVER).  Replenished VCPUs return to UNDER."""
+        total_weight = sum(self._weights.values()) or 1.0
+        for dom_id, domain in self._domains.items():
+            grant = int(CREDITS_PER_PERIOD * self._weights[dom_id]
+                        / total_weight)
+            grant = max(grant, 1)
+            for vcpu in domain.vcpus:
+                vcpu.credits = min(vcpu.credits + grant, 2 * grant)
+        promoted = [v for v in self._over if v.credits > 0]
+        for vcpu in promoted:
+            self._over.remove(vcpu)
+            self._under.append(vcpu)
+
+    def block(self, vcpu: "Vcpu") -> None:
+        vcpu.runnable = False
+
+    def wake(self, vcpu: "Vcpu") -> None:
+        if not vcpu.runnable:
+            vcpu.runnable = True
+            if vcpu not in self._under and vcpu not in self._over:
+                self._under.appendleft(vcpu)  # boost wakers (Xen's BOOST)
+
+    def runtime_share(self) -> dict[int, float]:
+        """Fraction of total charged runtime per domain (for fairness tests)."""
+        total = sum(v.runtime_cycles for d in self._domains.values()
+                    for v in d.vcpus)
+        if total == 0:
+            return {d: 0.0 for d in self._domains}
+        return {
+            dom_id: sum(v.runtime_cycles for v in dom.vcpus) / total
+            for dom_id, dom in self._domains.items()
+        }

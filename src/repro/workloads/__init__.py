@@ -1,0 +1,19 @@
+"""Benchmark workloads (§7.1 of the paper).
+
+Synthetic but path-faithful versions of the suites the paper measures:
+
+- :mod:`repro.workloads.lmbench` — lmbench 3.0-a5 OS-related latencies
+  (Tables 1 and 2).
+- :mod:`repro.workloads.osdb` — OSDB-IR over a PostgreSQL-like engine.
+- :mod:`repro.workloads.dbench` — dbench 3.03 fileserver load.
+- :mod:`repro.workloads.kbuild` — Linux kernel build (fork/exec/FS mix).
+- :mod:`repro.workloads.iperf` — iperf TCP/UDP bandwidth and ping RTT.
+
+Every workload drives a :class:`~repro.guestos.kernel.Kernel` through real
+system calls; no workload knows which of the six configurations it runs
+under.
+"""
+
+from repro.workloads.lmbench import LmbenchResults, run_lmbench
+
+__all__ = ["LmbenchResults", "run_lmbench"]

@@ -1,0 +1,106 @@
+"""iperf TCP/UDP bandwidth and ping latency (§7.1: "the client and server
+for Iperf were connected through a Giga-bit switch").
+
+Two kernels on two linked machines (sharing a clock, as
+:meth:`~repro.hw.machine.Machine.link_to` requires).  The sender pushes a
+byte volume through its socket layer; the receiver's machine is polled
+between send windows so its stack drains.  Goodput is bytes over elapsed
+simulated time; ping is the ICMP echo RTT measured by the sender's stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.guestos.net import MSS, TCP_WINDOW
+
+if TYPE_CHECKING:
+    from repro.guestos.kernel import Kernel
+    from repro.hw.cpu import Cpu
+
+
+@dataclass
+class IperfResult:
+    proto: str
+    bytes_sent: int
+    elapsed_us: float
+
+    @property
+    def mbit_s(self) -> float:
+        if not self.elapsed_us:
+            return 0.0
+        return (self.bytes_sent * 8) / self.elapsed_us  # bits/µs == Mbit/s
+
+
+def run_iperf(sender: "Kernel", receiver: "Kernel", proto: str = "tcp",
+              total_bytes: int = 2 * 1024 * 1024) -> IperfResult:
+    """Bulk transfer from ``sender`` to ``receiver``."""
+    s_cpu = sender.machine.boot_cpu
+    r_cpu = receiver.machine.boot_cpu
+    s_sock = sender.syscall(s_cpu, "socket", proto)
+    receiver.syscall(r_cpu, "socket", proto)
+
+    dst = receiver.net_addr
+    clock = sender.machine.clock
+    t0 = clock.cycles
+
+    sent = 0
+    window_bytes = TCP_WINDOW * MSS
+    while sent < total_bytes:
+        chunk = min(window_bytes, total_bytes - sent)
+        sender.syscall(s_cpu, "sendto", s_sock, dst, chunk)
+        sent += chunk
+        # the wire delivers, the receiver's machine services its NIC
+        _drain_both(sender, receiver)
+        if proto == "tcp":
+            # one ACK round trip per window
+            rtt_ns = 2 * s_cpu.cost.net_latency_ns
+            clock.advance(int(s_cpu.cost.cycles_from_ns(rtt_ns)))
+            _drain_both(sender, receiver)
+    elapsed = s_cpu.cost.us(clock.cycles - t0)
+    return IperfResult(proto=proto, bytes_sent=sent, elapsed_us=elapsed)
+
+
+def run_ping(sender: "Kernel", receiver: "Kernel", count: int = 5) -> float:
+    """Mean ICMP echo RTT in microseconds."""
+    s_cpu = sender.machine.boot_cpu
+    dst = receiver.net_addr
+    total = 0.0
+    for _ in range(count):
+        total += _ping_once(sender, receiver, dst)
+    return total / count
+
+
+def _ping_once(sender: "Kernel", receiver: "Kernel", dst: str) -> float:
+    """One echo round trip, driving both machines' event loops."""
+    s_cpu = sender.machine.boot_cpu
+    stack = sender.net
+    stack._ping_sent_at = s_cpu.rdtsc()
+    stack._awaiting_pong = True
+    from repro.hw.devices import Packet
+    pkt = Packet(src=sender.net_addr, dst=dst, proto="icmp",
+                 size_bytes=64, payload="echo")
+    sender.net_transmit(s_cpu, pkt)
+    clock = sender.machine.clock
+    guard = 0
+    while stack._awaiting_pong:
+        deadline = clock.next_deadline()
+        if deadline is not None and deadline > clock.cycles:
+            clock.cycles = deadline
+        _drain_both(sender, receiver)
+        guard += 1
+        if guard > 10_000:
+            raise RuntimeError("ping did not complete")
+    return s_cpu.cost.us(stack.last_ping_rtt_cycles)
+
+
+def _drain_both(a: "Kernel", b: "Kernel") -> None:
+    """Fire due events and deliver interrupts on both ends (they share a
+    clock; each machine polls its own interrupt controller)."""
+    for _ in range(64):
+        fired = a.machine.clock.run_due()
+        handled = a.machine.poll() + (b.machine.poll()
+                                      if b.machine is not a.machine else 0)
+        if not fired and not handled:
+            break

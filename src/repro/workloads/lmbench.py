@@ -1,0 +1,207 @@
+"""lmbench OS-related micro-benchmarks (Tables 1 and 2 of the paper).
+
+Rows reproduced (names as the paper prints them):
+
+- ``Fork Process``   — fork + child exit + wait
+- ``Exec Process``   — fork + exec + exit + wait
+- ``Sh Process``     — fork + exec /bin/sh, which forks + execs the target
+- ``Ctx (2p/0k)``, ``Ctx (16p/16k)``, ``Ctx (16p/64k)`` — context-switch
+  ring with N processes touching K KiB each switch
+- ``Mmap LT``        — map + touch + unmap a large region
+- ``Prot Fault``     — write to a write-protected page
+- ``Page Fault``     — first touch of a demand-zero page
+
+All latencies are in microseconds of *simulated* time, measured with the
+guest's RDTSC exactly as lmbench uses the cycle counter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import SyscallError
+from repro.params import PAGE_SIZE
+
+if TYPE_CHECKING:
+    from repro.guestos.kernel import Kernel
+    from repro.hw.cpu import Cpu
+
+#: pages in the lmbench process image (the lmbench binary + libc footprint)
+LMBENCH_IMAGE_PAGES = 384
+
+
+@dataclass
+class LmbenchResults:
+    """Latencies in microseconds, keyed by the paper's row names."""
+
+    rows: dict[str, float] = field(default_factory=dict)
+
+    ROW_ORDER = ("Fork Process", "Exec Process", "Sh Process",
+                 "Ctx (2p/0k)", "Ctx (16p/16k)", "Ctx (16p/64k)",
+                 "Mmap LT", "Prot Fault", "Page Fault")
+
+    def ordered(self) -> list[tuple[str, float]]:
+        return [(name, self.rows[name]) for name in self.ROW_ORDER
+                if name in self.rows]
+
+
+def _timeit(cpu: "Cpu", fn, iters: int) -> float:
+    """Mean latency of ``fn()`` over ``iters`` runs, in simulated µs."""
+    t0 = cpu.rdtsc()
+    for _ in range(iters):
+        fn()
+    return cpu.cost.us(cpu.rdtsc() - t0) / iters
+
+
+# ---------------------------------------------------------------------------
+# individual benchmarks
+# ---------------------------------------------------------------------------
+
+def bench_fork(kernel: "Kernel", cpu: "Cpu", iters: int = 5) -> float:
+    def one() -> None:
+        pid = kernel.syscall(cpu, "fork")
+        kernel.run_and_reap(cpu, kernel.procs.get(pid))
+    return _timeit(cpu, one, iters)
+
+
+def bench_exec(kernel: "Kernel", cpu: "Cpu", iters: int = 5) -> float:
+    def one() -> None:
+        child = kernel.spawn_process(cpu, "hello",
+                                     image_pages=LMBENCH_IMAGE_PAGES)
+        kernel.run_and_reap(cpu, child)
+    return _timeit(cpu, one, iters)
+
+
+def bench_sh(kernel: "Kernel", cpu: "Cpu", iters: int = 3) -> float:
+    """/bin/sh -c 'target': two levels of fork+exec plus path search."""
+    def one() -> None:
+        sh = kernel.spawn_process(cpu, "sh", image_pages=LMBENCH_IMAGE_PAGES)
+        parent = kernel.scheduler.current
+        kernel.switch_to(cpu, sh)
+        # shell startup: rc parsing, environment setup, PATH search
+        kernel.user_compute(cpu, 340.0)
+        for path in ("/bin/true", "/usr/bin/true"):
+            try:
+                kernel.syscall(cpu, "stat", path, task=sh)
+            except Exception:
+                pass
+        target = kernel.spawn_process(cpu, "true",
+                                      image_pages=LMBENCH_IMAGE_PAGES)
+        kernel.run_and_reap(cpu, target)
+        kernel.syscall(cpu, "exit", 0, task=sh)
+        kernel.switch_to(cpu, parent)
+        kernel.syscall(cpu, "wait", task=parent)
+    return _timeit(cpu, one, iters)
+
+
+def bench_ctx(kernel: "Kernel", cpu: "Cpu", nprocs: int, data_kb: int,
+              rounds: int = 3) -> float:
+    """The lmbench context-switch ring: N processes connected by pipes
+    pass a one-byte token; each touches its K KiB working set after every
+    switch — exactly lmbench's lat_ctx structure."""
+    parent = kernel.scheduler.current
+    tasks = []
+    bases = []
+    pipes = []
+    for _ in range(nprocs):
+        pid = kernel.syscall(cpu, "fork")
+        task = kernel.procs.get(pid)
+        tasks.append(task)
+        rfd, wfd = kernel.syscall(cpu, "pipe", task=task)
+        pipes.append((rfd, wfd))
+        if data_kb:
+            base = kernel.vmem.mmap(cpu, task, data_kb * 1024, populate=True)
+            bases.append(base)
+        else:
+            bases.append(None)
+
+    pages = max(1, (data_kb * 1024) // PAGE_SIZE) if data_kb else 0
+    t0 = cpu.rdtsc()
+    switches = 0
+    for _ in range(rounds):
+        for task, base, (rfd, wfd) in zip(tasks, bases, pipes):
+            # the token arrives on this task's pipe...
+            kernel.syscall(cpu, "write", wfd, b"t", 1, task=task)
+            kernel.switch_to(cpu, task)
+            switches += 1
+            # ...and the task drains it before touching its working set
+            kernel.syscall(cpu, "read", rfd, task=task)
+            if base is not None:
+                # the benchmark walks its working set through a cold cache
+                # after each switch; beyond ~32 KiB the set no longer fits
+                # the near caches and per-KB cost roughly doubles
+                kernel.touch_pages(cpu, task, base, pages, write=True)
+                per_kb = 204 if data_kb <= 32 else 405
+                cpu.charge(per_kb * data_kb)
+    elapsed_us = cpu.cost.us(cpu.rdtsc() - t0)
+
+    kernel.switch_to(cpu, parent)
+    for task in tasks:
+        kernel.switch_to(cpu, task)
+        kernel.syscall(cpu, "exit", 0, task=task)
+        kernel.switch_to(cpu, parent)
+        kernel.syscall(cpu, "wait", task=parent)
+    return elapsed_us / switches
+
+
+def bench_mmap(kernel: "Kernel", cpu: "Cpu", size_mb: int = 32,
+               iters: int = 2) -> float:
+    """Total latency to map + touch + unmap ``size_mb`` MiB (lmbench
+    reports the total, not per-page)."""
+    task = kernel.scheduler.current
+    length = size_mb * 1024 * 1024
+
+    def one() -> None:
+        base = kernel.syscall(cpu, "mmap", length, True)  # MAP_POPULATE
+        kernel.syscall(cpu, "munmap", base, length)
+    return _timeit(cpu, one, iters)
+
+
+def bench_prot_fault(kernel: "Kernel", cpu: "Cpu", iters: int = 50) -> float:
+    task = kernel.scheduler.current
+    length = 16 * PAGE_SIZE
+    base = kernel.syscall(cpu, "mmap", length, True)
+    kernel.syscall(cpu, "mprotect", base, length, False)
+
+    def one() -> None:
+        try:
+            kernel.vmem.access(cpu, task, base, write=True)
+        except SyscallError:
+            pass  # SIGSEGV delivered, as lmbench's handler catches it
+    lat = _timeit(cpu, one, iters)
+    kernel.syscall(cpu, "mprotect", base, length, True)
+    kernel.syscall(cpu, "munmap", base, length)
+    return lat
+
+
+def bench_page_fault(kernel: "Kernel", cpu: "Cpu", iters: int = 64) -> float:
+    task = kernel.scheduler.current
+    length = iters * PAGE_SIZE
+    base = kernel.syscall(cpu, "mmap", length, False)  # demand paged
+
+    t0 = cpu.rdtsc()
+    for i in range(iters):
+        kernel.vmem.access(cpu, task, base + i * PAGE_SIZE, write=True)
+    lat = cpu.cost.us(cpu.rdtsc() - t0) / iters
+    kernel.syscall(cpu, "munmap", base, length)
+    return lat
+
+
+# ---------------------------------------------------------------------------
+# the full suite
+# ---------------------------------------------------------------------------
+
+def run_lmbench(kernel: "Kernel", cpu: "Cpu") -> LmbenchResults:
+    """Run every row of Table 1/2 and return the latencies."""
+    results = LmbenchResults()
+    results.rows["Fork Process"] = bench_fork(kernel, cpu)
+    results.rows["Exec Process"] = bench_exec(kernel, cpu)
+    results.rows["Sh Process"] = bench_sh(kernel, cpu)
+    results.rows["Ctx (2p/0k)"] = bench_ctx(kernel, cpu, 2, 0)
+    results.rows["Ctx (16p/16k)"] = bench_ctx(kernel, cpu, 16, 16)
+    results.rows["Ctx (16p/64k)"] = bench_ctx(kernel, cpu, 16, 64)
+    results.rows["Mmap LT"] = bench_mmap(kernel, cpu)
+    results.rows["Prot Fault"] = bench_prot_fault(kernel, cpu)
+    results.rows["Page Fault"] = bench_page_fault(kernel, cpu)
+    return results

@@ -1,0 +1,137 @@
+"""OSDB-IR: the Open Source Database Benchmark's Information Retrieval
+test over a PostgreSQL-like engine (§7.1: OSDB-x0.15-1 with PostgreSQL
+7.3.6).
+
+The engine stores a heap table plus a B-tree-ish index as files in the
+guest filesystem.  The IR phase runs point queries: descend the index
+(reads, mostly buffer-cache warm but with a miss tail), fetch the heap
+tuple (read + copy), and evaluate it (user compute).  This syscall- and
+fault-heavy profile is what gives OSDB the >20% virtualization loss the
+paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.guestos.fs import BLOCK_SIZE
+
+if TYPE_CHECKING:
+    from repro.guestos.kernel import Kernel
+    from repro.hw.cpu import Cpu
+
+
+@dataclass
+class OsdbResult:
+    queries: int
+    elapsed_us: float
+    cache_hits: int
+    cache_misses: int
+
+    @property
+    def queries_per_second(self) -> float:
+        return self.queries / (self.elapsed_us / 1e6) if self.elapsed_us else 0.0
+
+
+#: tuples per heap block (PostgreSQL-ish density for small rows)
+TUPLES_PER_BLOCK = 64
+#: index fanout (levels = ceil(log_fanout(rows)))
+INDEX_FANOUT = 256
+
+
+def _populate(kernel: "Kernel", cpu: "Cpu", rows: int) -> tuple[int, int]:
+    """Create the heap and index files; returns (heap_fd, index_fd)."""
+    heap_blocks = (rows + TUPLES_PER_BLOCK - 1) // TUPLES_PER_BLOCK
+    index_blocks = max(1, heap_blocks // 16)
+    heap_fd = kernel.syscall(cpu, "open", "/pgdata/heap", True)
+    index_fd = kernel.syscall(cpu, "open", "/pgdata/index", True)
+    for b in range(heap_blocks):
+        kernel.syscall(cpu, "lseek", heap_fd, b * BLOCK_SIZE)
+        kernel.syscall(cpu, "write", heap_fd, f"heap-{b}", BLOCK_SIZE)
+    for b in range(index_blocks):
+        kernel.syscall(cpu, "lseek", index_fd, b * BLOCK_SIZE)
+        kernel.syscall(cpu, "write", index_fd, f"idx-{b}", BLOCK_SIZE)
+    kernel.syscall(cpu, "fsync", heap_fd)
+    kernel.syscall(cpu, "fsync", index_fd)
+    return heap_fd, index_fd
+
+
+def run_osdb_ir(kernel: "Kernel", cpu: "Cpu", rows: int = 4096,
+                queries: int = 200, seed: int = 7) -> OsdbResult:
+    """Populate the database, then run ``queries`` random point lookups."""
+    heap_fd, index_fd = _populate(kernel, cpu, rows)
+    heap_blocks = (rows + TUPLES_PER_BLOCK - 1) // TUPLES_PER_BLOCK
+    index_blocks = max(1, heap_blocks // 16)
+
+    # index depth: root + internal + leaf for these sizes
+    levels = 1
+    span = INDEX_FANOUT
+    while span < rows:
+        span *= INDEX_FANOUT
+        levels += 1
+
+    hits0 = kernel.fs.cache.hits
+    misses0 = kernel.fs.cache.misses
+    state = seed
+    t0 = cpu.rdtsc()
+    for _ in range(queries):
+        state = (state * 1103515245 + 12345) % (1 << 31)  # deterministic LCG
+        key = state % rows
+        # descend the index: one block read per level
+        for level in range(levels):
+            blk = (key // (INDEX_FANOUT ** (levels - level))) % index_blocks
+            kernel.syscall(cpu, "lseek", index_fd, blk * BLOCK_SIZE)
+            kernel.syscall(cpu, "read", index_fd, BLOCK_SIZE)
+        # fetch the heap tuple
+        heap_blk = key // TUPLES_PER_BLOCK
+        kernel.syscall(cpu, "lseek", heap_fd, heap_blk * BLOCK_SIZE)
+        kernel.syscall(cpu, "read", heap_fd, BLOCK_SIZE)
+        # evaluate: tuple deforming + predicate, a few µs of user time
+        kernel.user_compute(cpu, 4.0)
+    elapsed = cpu.cost.us(cpu.rdtsc() - t0)
+
+    kernel.syscall(cpu, "close", heap_fd)
+    kernel.syscall(cpu, "close", index_fd)
+    return OsdbResult(queries=queries, elapsed_us=elapsed,
+                      cache_hits=kernel.fs.cache.hits - hits0,
+                      cache_misses=kernel.fs.cache.misses - misses0)
+
+
+def run_osdb_mixed(kernel: "Kernel", cpu: "Cpu", rows: int = 4096,
+                   transactions: int = 100, update_ratio: float = 0.25,
+                   commit_every: int = 10, seed: int = 11) -> OsdbResult:
+    """OSDB's mixed phase: point lookups interleaved with tuple updates
+    and periodic WAL-style commits (fsync).  Update transactions dirty
+    heap blocks and pay journal commits — the write-side profile the IR
+    phase lacks."""
+    heap_fd, index_fd = _populate(kernel, cpu, rows)
+    heap_blocks = (rows + TUPLES_PER_BLOCK - 1) // TUPLES_PER_BLOCK
+
+    state = seed
+    t0 = cpu.rdtsc()
+    since_commit = 0
+    for txn in range(transactions):
+        state = (state * 1103515245 + 12345) % (1 << 31)
+        key = state % rows
+        heap_blk = key // TUPLES_PER_BLOCK
+        kernel.syscall(cpu, "lseek", heap_fd, heap_blk * BLOCK_SIZE)
+        kernel.syscall(cpu, "read", heap_fd, BLOCK_SIZE)
+        kernel.user_compute(cpu, 3.0)
+        if (state >> 8) % 100 < int(update_ratio * 100):
+            # rewrite the tuple's heap block
+            kernel.syscall(cpu, "lseek", heap_fd, heap_blk * BLOCK_SIZE)
+            kernel.syscall(cpu, "write", heap_fd, f"upd-{txn}", BLOCK_SIZE)
+            since_commit += 1
+        if since_commit >= commit_every:
+            kernel.syscall(cpu, "fsync", heap_fd)
+            since_commit = 0
+    if since_commit:
+        kernel.syscall(cpu, "fsync", heap_fd)
+    elapsed = cpu.cost.us(cpu.rdtsc() - t0)
+
+    kernel.syscall(cpu, "close", heap_fd)
+    kernel.syscall(cpu, "close", index_fd)
+    return OsdbResult(queries=transactions, elapsed_us=elapsed,
+                      cache_hits=kernel.fs.cache.hits,
+                      cache_misses=kernel.fs.cache.misses)

@@ -1,0 +1,60 @@
+"""Shared fixtures: small machines, booted kernels, Mercury stacks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Machine, Mercury, small_config
+from repro.core.accounting import AccountingStrategy
+from repro.core.native_vo import NativeVO
+from repro.guestos.kernel import Kernel
+from repro.vmm.hypervisor import Hypervisor
+
+
+@pytest.fixture
+def machine():
+    """A small 1-CPU machine (16 MiB)."""
+    return Machine(small_config())
+
+
+@pytest.fixture
+def machine2():
+    """A small 2-CPU machine."""
+    return Machine(small_config(num_cpus=2))
+
+
+@pytest.fixture
+def kernel(machine):
+    """A booted native kernel (plain NativeVO, no Mercury)."""
+    k = Kernel(machine, NativeVO(machine), owner_id=0, name="test-linux")
+    k.boot(image_pages=16)
+    return k
+
+
+@pytest.fixture
+def mercury(machine):
+    """Mercury with a booted kernel, in native mode."""
+    mc = Mercury(machine)
+    mc.create_kernel(name="test-linux", image_pages=16)
+    return mc
+
+
+@pytest.fixture
+def mercury_active(machine):
+    """Active-accounting Mercury with a booted kernel."""
+    mc = Mercury(machine, strategy=AccountingStrategy.ACTIVE)
+    mc.create_kernel(name="test-linux", image_pages=16)
+    return mc
+
+
+@pytest.fixture
+def warm_vmm(machine):
+    """A warmed-up (pre-cached) but inactive hypervisor."""
+    vmm = Hypervisor(machine)
+    vmm.warm_up()
+    return vmm
+
+
+@pytest.fixture
+def cpu(machine):
+    return machine.boot_cpu

@@ -1,0 +1,168 @@
+"""Failure-resistant switching and the tree rendezvous (§8 extensions)."""
+
+import pytest
+
+from repro import Machine, Mercury, small_config
+from repro.core.failsafe import FailsafeSwitch, SwitchVetoed
+from repro.core.mercury import Mode
+from repro.core.smp_tree import TreeSmpCoordinator, use_tree_protocol
+from repro.errors import ModeSwitchError
+
+
+# ---------------------------------------------------------------------------
+# failsafe switching
+# ---------------------------------------------------------------------------
+
+def test_clean_switch_commits(mercury):
+    guard = FailsafeSwitch(mercury)
+    report = guard.attach()
+    assert report.committed
+    assert report.anomalies_found == []
+    assert mercury.mode is Mode.PARTIAL_VIRTUAL
+    report = guard.detach()
+    assert report.committed
+    assert mercury.mode is Mode.NATIVE
+
+
+def test_corrupted_os_vetoes_switch_without_repair(mercury):
+    guard = FailsafeSwitch(mercury, repair=False)
+    k = mercury.kernel
+    t = k.scheduler.current
+    k.scheduler.runqueue.extend([t, t])
+    with pytest.raises(SwitchVetoed) as e:
+        guard.attach()
+    assert "runqueue" in e.value.anomalies
+    assert mercury.mode is Mode.NATIVE   # nothing half-switched
+    # the OS is still functional in its original mode
+    cpu = mercury.machine.boot_cpu
+    pid = k.syscall(cpu, "fork")
+    k.run_and_reap(cpu, k.procs.get(pid))
+
+
+def test_repair_then_commit(mercury):
+    guard = FailsafeSwitch(mercury, repair=True)
+    k = mercury.kernel
+    t = k.scheduler.current
+    k.scheduler.runqueue.extend([t, t])
+    report = guard.attach()
+    assert report.committed
+    assert report.repaired == ["runqueue"]
+    assert mercury.mode is Mode.PARTIAL_VIRTUAL
+    pids = [x.pid for x in k.scheduler.runqueue]
+    assert len(pids) == len(set(pids))
+
+
+def test_multiple_anomalies_all_repaired(mercury):
+    guard = FailsafeSwitch(mercury)
+    k = mercury.kernel
+    cpu = mercury.machine.boot_cpu
+    fd = k.syscall(cpu, "open", "/f", True)
+    k.syscall(cpu, "write", fd, "x", 100)
+    k.fs.inodes["/f"].nlink = -1
+    t = k.scheduler.current
+    k.scheduler.runqueue.extend([t, t])
+    report = guard.attach()
+    assert set(report.repaired) == {"runqueue", "fs-metadata"}
+    assert report.committed
+
+
+def test_mid_transfer_failure_rolls_back(mercury, monkeypatch):
+    """If the transfer machinery itself explodes, the OS must come back in
+    its original mode, functional."""
+    from repro.core import transfer
+
+    def boom(*args, **kwargs):
+        raise RuntimeError("simulated transfer wreck")
+
+    monkeypatch.setattr(transfer, "transfer_irq_bindings_to_virtual", boom)
+    guard = FailsafeSwitch(mercury)
+    with pytest.raises(RuntimeError):
+        guard.attach()
+    report = guard.history[-1]
+    assert report.rolled_back and not report.committed
+    assert mercury.mode is Mode.NATIVE
+    assert mercury.kernel.vo is mercury.native_vo
+    assert not mercury.vmm.active
+    # still alive
+    cpu = mercury.machine.boot_cpu
+    pid = mercury.kernel.syscall(cpu, "fork")
+    mercury.kernel.run_and_reap(cpu, mercury.kernel.procs.get(pid))
+    # and a later clean attach (with the fault removed) works
+    monkeypatch.undo()
+    assert guard.attach().committed
+
+
+def test_history_records_everything(mercury):
+    guard = FailsafeSwitch(mercury)
+    guard.attach()
+    guard.detach()
+    assert len(guard.history) == 2
+    assert all(r.committed for r in guard.history)
+
+
+# ---------------------------------------------------------------------------
+# tree rendezvous
+# ---------------------------------------------------------------------------
+
+def _smp_mercury(ncpus, tree=False):
+    machine = Machine(small_config(num_cpus=ncpus))
+    mc = Mercury(machine)
+    mc.create_kernel(image_pages=16)
+    if tree:
+        use_tree_protocol(mc)
+    return mc
+
+
+def test_tree_depth():
+    assert TreeSmpCoordinator.tree_depth(1) == 0
+    assert TreeSmpCoordinator.tree_depth(2) == 1
+    assert TreeSmpCoordinator.tree_depth(4) == 2
+    assert TreeSmpCoordinator.tree_depth(16) == 4
+    assert TreeSmpCoordinator.tree_depth(15) == 4
+
+
+def test_tree_switch_reaches_every_cpu():
+    mc = _smp_mercury(4, tree=True)
+    rec = mc.attach()
+    assert rec.rendezvous.num_cpus == 4
+    assert rec.rendezvous.ipis_sent == 3   # n-1 notifications, tree-routed
+    for cpu in mc.machine.cpus:
+        assert cpu.idt_base.owner == "vmm"
+        assert cpu.interrupts_enabled
+    mc.detach()
+    for cpu in mc.machine.cpus:
+        assert cpu.idt_base.owner == mc.kernel.name
+
+
+def test_tree_protocol_equivalent_outcome():
+    """Flat and tree must produce identical post-switch state."""
+    flat = _smp_mercury(4, tree=False)
+    tree = _smp_mercury(4, tree=True)
+    flat.attach()
+    tree.attach()
+    for a, b in zip(flat.machine.cpus, tree.machine.cpus):
+        assert a.idt_base.owner == b.idt_base.owner == "vmm"
+        assert a.gdt[1].dpl == b.gdt[1].dpl == 1
+
+
+def test_tree_gathers_faster_at_scale():
+    """The §8 motivation: O(log n) gather beats O(n) once cores abound."""
+    flat = _smp_mercury(16, tree=False)
+    tree = _smp_mercury(16, tree=True)
+    rec_flat = flat.attach()
+    rec_tree = tree.attach()
+    assert rec_tree.rendezvous.gather_cycles < \
+        rec_flat.rendezvous.gather_cycles
+
+
+def test_tree_workload_roundtrip():
+    mc = _smp_mercury(8, tree=True)
+    k = mc.kernel
+    cpu = mc.machine.boot_cpu
+    fd = k.syscall(cpu, "open", "/tree", True)
+    k.syscall(cpu, "write", fd, "x", 10)
+    mc.attach()
+    pid = k.syscall(cpu, "fork")
+    k.run_and_reap(cpu, k.procs.get(pid))
+    mc.detach()
+    assert k.fs.exists("/tree")

@@ -1,0 +1,118 @@
+"""SMP rendezvous (§5.4): IPIs, shared-variable handshake, scaling."""
+
+import pytest
+
+from repro import Machine, Mercury, small_config
+from repro.core.mercury import Mode
+from repro.core.smp import SmpCoordinator
+from repro.hw.cpu import PrivilegeLevel
+
+
+@pytest.fixture
+def mercury_smp():
+    machine = Machine(small_config(num_cpus=2))
+    mc = Mercury(machine)
+    mc.create_kernel(image_pages=16)
+    return mc
+
+
+def _mercury_with(ncpus):
+    machine = Machine(small_config(num_cpus=ncpus))
+    mc = Mercury(machine)
+    mc.create_kernel(image_pages=16)
+    return mc
+
+
+def test_smp_attach_uses_rendezvous(mercury_smp):
+    rec = mercury_smp.attach()
+    assert rec.rendezvous is not None
+    r = rec.rendezvous
+    assert r.num_cpus == 2
+    assert r.ipis_sent == 1
+    assert r.start <= r.gathered <= r.finish
+    assert r.cp_done <= r.finish and r.secondaries_done <= r.finish
+
+
+def test_up_attach_has_no_rendezvous(mercury):
+    rec = mercury.attach()
+    assert rec.rendezvous is None
+
+
+def test_all_cpus_reach_target_mode(mercury_smp):
+    mercury_smp.attach()
+    for cpu in mercury_smp.machine.cpus:
+        assert cpu.idt_base.owner == "vmm"
+        assert cpu.gdt[1].dpl == 1
+    mercury_smp.detach()
+    for cpu in mercury_smp.machine.cpus:
+        assert cpu.idt_base.owner == mercury_smp.kernel.name
+        assert cpu.gdt[1].dpl == 0
+
+
+def test_shared_count_covers_every_cpu(mercury_smp):
+    mercury_smp.attach()
+    smp = mercury_smp.engine.smp
+    assert smp.ready_count == 2
+    assert smp.go_flag is True
+    assert smp.done_count == 2
+
+
+def test_rendezvous_consumes_its_ipis(mercury_smp):
+    from repro.hw.interrupts import VEC_SV_RENDEZVOUS
+    mercury_smp.attach()
+    for cpu in mercury_smp.machine.cpus:
+        assert mercury_smp.machine.intc.pending_count(cpu.cpu_id) == 0
+
+
+def test_secondaries_reenabled_after_switch(mercury_smp):
+    mercury_smp.attach()
+    assert all(c.interrupts_enabled for c in mercury_smp.machine.cpus)
+
+
+def test_secondary_work_overlaps_cp_work(mercury_smp):
+    """The secondaries' reloads must not serialize after the CP's heavy
+    work: total <= cp_done unless a secondary straggles."""
+    rec = mercury_smp.attach()
+    r = rec.rendezvous
+    assert r.finish == max(r.cp_done, r.secondaries_done)
+
+
+def test_switch_time_grows_slowly_with_cores():
+    """The §8 scalability concern: gather cost rises with core count but
+    the per-CPU reloads stay parallel, so 8 cores must cost far less than
+    8x the 2-core switch."""
+    times = {}
+    for ncpus in (2, 4, 8):
+        mc = _mercury_with(ncpus)
+        rec = mc.attach()
+        times[ncpus] = rec.cycles
+        mc.detach()
+    assert times[4] >= times[2]
+    assert times[8] >= times[4]
+    assert times[8] < times[2] * 4
+
+
+def test_smp_roundtrip_workload_intact(mercury_smp):
+    k = mercury_smp.kernel
+    cpu = mercury_smp.machine.boot_cpu
+    fd = k.syscall(cpu, "open", "/smp", True)
+    k.syscall(cpu, "write", fd, "x", 10)
+    mercury_smp.attach()
+    pid = k.syscall(cpu, "fork")
+    k.run_and_reap(cpu, k.procs.get(pid))
+    mercury_smp.detach()
+    assert k.fs.exists("/smp")
+    assert mercury_smp.mode is Mode.NATIVE
+
+
+def test_coordinator_direct_api(machine2):
+    """The rendezvous is usable standalone with arbitrary work."""
+    coord = SmpCoordinator(machine2)
+    ran = []
+    result = coord.coordinated_switch(
+        machine2.boot_cpu,
+        cp_work=lambda c: ran.append(("cp", c.cpu_id)),
+        secondary_work=lambda c: ran.append(("sec", c.cpu_id)))
+    assert ("cp", 0) in ran and ("sec", 1) in ran
+    assert result.total_cycles >= 0
+    assert result.gather_cycles > 0

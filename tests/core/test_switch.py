@@ -1,0 +1,172 @@
+"""The mode-switch engine: commit protocol, retry timer, measurements."""
+
+import pytest
+
+from repro.core.mercury import Mode
+from repro.core.switch import Direction
+from repro.errors import ModeSwitchError
+from repro.hw.cpu import PrivilegeLevel
+from repro.hw.interrupts import VEC_SV_ATTACH
+
+
+def test_attach_then_detach_roundtrip(mercury):
+    k = mercury.kernel
+    rec_a = mercury.attach()
+    assert mercury.mode is Mode.PARTIAL_VIRTUAL
+    assert k.vo is mercury.virtual_vo
+    assert mercury.vmm.active
+    rec_d = mercury.detach()
+    assert mercury.mode is Mode.NATIVE
+    assert k.vo is mercury.native_vo
+    assert not mercury.vmm.active
+    assert rec_a.direction is Direction.TO_VIRTUAL
+    assert rec_d.direction is Direction.TO_NATIVE
+
+
+def test_switch_is_interrupt_driven(mercury):
+    """The request must travel through the dedicated vector, not a direct
+    call (§4.1: 'execution mode switches can be done through triggering
+    the corresponding interrupt line')."""
+    delivered0 = mercury.machine.intc.delivered
+    mercury.attach()
+    assert mercury.machine.intc.delivered > delivered0
+
+
+def test_rdtsc_measured_durations(mercury):
+    rec = mercury.attach()
+    assert rec.end_tsc > rec.start_tsc
+    assert rec.us() > 0
+    rec2 = mercury.detach()
+    # §7.4: attach (page-info recompute) costs more than detach
+    assert rec.cycles > rec2.cycles
+
+
+def test_attach_processes_pt_pages(mercury):
+    cpu = mercury.machine.boot_cpu
+    for _ in range(3):
+        mercury.kernel.syscall(cpu, "fork")
+    rec = mercury.attach()
+    # init + 3 children, each with >= 1 PT page
+    assert rec.pt_pages >= 4
+
+
+def test_double_attach_rejected(mercury):
+    mercury.attach()
+    with pytest.raises(ModeSwitchError):
+        mercury.attach()
+
+
+def test_detach_while_native_rejected(mercury):
+    with pytest.raises(ModeSwitchError):
+        mercury.detach()
+
+
+def test_busy_vo_defers_switch_until_refcount_zero(mercury):
+    """§5.1.1: a switch requested while sensitive code runs must not
+    commit; the retry timer lands it once the count drops."""
+    k = mercury.kernel
+    cpu = mercury.machine.boot_cpu
+    k.vo.enter(cpu)   # simulate a long-running sensitive section
+    rec = mercury.attach(wait=False)
+    assert rec is None
+    assert mercury.mode is Mode.NATIVE
+    assert mercury.engine.failed_attempts == 1
+    k.vo.exit(cpu)    # section ends
+    # the 10 ms retry timer is armed; draining it commits the switch
+    mercury._drain_until_committed(0)
+    assert mercury.engine.records, "retry never committed"
+    assert mercury.mode is Mode.PARTIAL_VIRTUAL  # engine updated the mode
+    rec = mercury.engine.records[-1]
+    assert rec.retries >= 1
+
+
+def test_retry_period_is_10ms(mercury):
+    k = mercury.kernel
+    cpu = mercury.machine.boot_cpu
+    k.vo.enter(cpu)
+    t0 = mercury.machine.clock.cycles
+    mercury.attach(wait=False)
+    k.vo.exit(cpu)
+    mercury._drain_until_committed(0)
+    elapsed_ms = (mercury.machine.clock.cycles - t0) / (3000 * 1000)
+    assert 9.5 <= elapsed_ms <= 25  # one or two 10 ms periods
+
+
+def test_switch_survives_workload_before_and_after(mercury):
+    k = mercury.kernel
+    cpu = mercury.machine.boot_cpu
+    fd = k.syscall(cpu, "open", "/pre", True)
+    k.syscall(cpu, "write", fd, "before", 10)
+    mercury.attach()
+    # the file is still there; new work proceeds in virtual mode
+    assert k.fs.exists("/pre")
+    pid = k.syscall(cpu, "fork")
+    k.run_and_reap(cpu, k.procs.get(pid))
+    mercury.detach()
+    assert k.fs.exists("/pre")
+    k.syscall(cpu, "lseek", fd, 0)
+    assert k.syscall(cpu, "read", fd, 10) == ["before"]
+
+
+def test_segment_dpl_follows_mode(mercury):
+    cpu = mercury.machine.boot_cpu
+    assert cpu.gdt[1].dpl == 0
+    mercury.attach()
+    assert cpu.gdt[1].dpl == 1          # de-privileged kernel segments
+    assert mercury.kernel.vo.data.kernel_segment_dpl == 1
+    mercury.detach()
+    assert cpu.gdt[1].dpl == 0
+
+
+def test_stack_cached_selectors_fixed_up(mercury):
+    """§5.1.2: suspended tasks' interrupt frames cache selectors with the
+    old privilege level; the switch must rewrite them or the first IRET
+    faults."""
+    k = mercury.kernel
+    cpu = mercury.machine.boot_cpu
+    pid = k.syscall(cpu, "fork")
+    child = k.procs.get(pid)
+    assert child.stack_cached_selector_dpl == 0
+    mercury.attach()
+    assert child.stack_cached_selector_dpl == 1
+    mercury.detach()
+    assert child.stack_cached_selector_dpl == 0
+
+
+def test_idt_ownership_follows_mode(mercury):
+    cpu = mercury.machine.boot_cpu
+    assert cpu.idt_base.owner == mercury.kernel.name
+    mercury.attach()
+    assert cpu.idt_base.owner == "vmm"
+    mercury.detach()
+    assert cpu.idt_base.owner == mercury.kernel.name
+
+
+def test_page_tables_pinned_only_in_virtual_mode(mercury):
+    init = mercury.kernel.scheduler.current
+    pgd = init.aspace.pgd_frame
+    assert pgd not in mercury.vmm.page_info.pinned
+    mercury.attach()
+    assert pgd in mercury.vmm.page_info.pinned
+    mercury.detach()
+    assert pgd not in mercury.vmm.page_info.pinned
+
+
+def test_repeated_roundtrips_are_stable(mercury):
+    k = mercury.kernel
+    cpu = mercury.machine.boot_cpu
+    for i in range(5):
+        mercury.attach()
+        pid = k.syscall(cpu, "fork")
+        k.run_and_reap(cpu, k.procs.get(pid))
+        mercury.detach()
+        pid = k.syscall(cpu, "fork")
+        k.run_and_reap(cpu, k.procs.get(pid))
+    assert len(mercury.switch_records) == 10
+
+
+def test_interrupts_reenabled_after_switch(mercury):
+    mercury.attach()
+    assert mercury.machine.boot_cpu.interrupts_enabled
+    mercury.detach()
+    assert mercury.machine.boot_cpu.interrupts_enabled

@@ -1,0 +1,109 @@
+"""State transfer (§5.1.2) and hardware reloading (§5.1.3) in isolation."""
+
+import pytest
+
+from repro.core import transfer
+from repro.core.accounting import AccountingStrategy
+from repro.core.reload import reload_control_processor, reload_secondary
+from repro.errors import ConsistencyViolation
+from repro.hw.cpu import PrivilegeLevel
+
+
+def test_transfer_page_tables_roundtrip(mercury):
+    k = mercury.kernel
+    cpu = mercury.machine.boot_cpu
+    vmm = mercury.vmm
+    dom = mercury.ensure_domain()
+    n = transfer.transfer_page_tables_to_virtual(
+        cpu, k, vmm, dom, AccountingStrategy.RECOMPUTE)
+    assert n == sum(a.num_pt_pages() for a in k.aspaces)
+    assert all(a in dom.aspaces for a in k.aspaces)
+    assert all(a.pgd_frame in vmm.page_info.pinned for a in k.aspaces)
+    m = transfer.transfer_page_tables_to_native(cpu, k, vmm, dom)
+    assert m == n
+    assert dom.aspaces == []
+    assert all(a.pgd_frame not in vmm.page_info.pinned for a in k.aspaces)
+
+
+def test_transfer_segments_counts_fixups(mercury):
+    k = mercury.kernel
+    cpu = mercury.machine.boot_cpu
+    for _ in range(3):
+        k.syscall(cpu, "fork")
+    fixed = transfer.transfer_segments(cpu, k, new_dpl=1)
+    # every task with a cached interrupt frame (the 3 forked children —
+    # init has never been suspended by an interrupt) gets rewritten
+    assert fixed == 3
+    # a second transfer to the same DPL touches nothing
+    assert transfer.transfer_segments(cpu, k, new_dpl=1) == 0
+
+
+def test_transfer_segments_charges_fixup_cost(mercury):
+    k = mercury.kernel
+    cpu = mercury.machine.boot_cpu
+    k.syscall(cpu, "fork")
+    t0 = cpu.rdtsc()
+    fixed = transfer.transfer_segments(cpu, k, new_dpl=1)
+    assert cpu.rdtsc() - t0 >= fixed * cpu.cost.cyc_iret_fixup
+
+
+def test_transfer_irq_bindings(mercury):
+    k = mercury.kernel
+    cpu = mercury.machine.boot_cpu
+    vmm = mercury.vmm
+    dom = mercury.ensure_domain()
+    transfer.transfer_irq_bindings_to_virtual(cpu, k, vmm, dom)
+    assert cpu.idt_base.owner == "vmm"
+    assert set(dom.trap_table) == set(k.idt.gates)
+    transfer.transfer_irq_bindings_to_native(cpu, k)
+    assert cpu.idt_base is k.idt
+
+
+def test_reload_requires_interrupts_disabled(mercury):
+    cpu = mercury.machine.boot_cpu
+    assert cpu.interrupts_enabled
+    with pytest.raises(ConsistencyViolation):
+        reload_control_processor(cpu, mercury.kernel, PrivilegeLevel.PL0)
+
+
+def test_reload_restores_current_cr3(mercury):
+    k = mercury.kernel
+    cpu = mercury.machine.boot_cpu
+    cpu.cr3 = 0xdead
+    cpu.interrupts_enabled = False
+    try:
+        reload_control_processor(cpu, k, PrivilegeLevel.PL0)
+    finally:
+        cpu.interrupts_enabled = True
+    assert cpu.cr3 == k.scheduler.current.aspace.pgd_frame
+
+
+def test_reload_flushes_tlb(mercury):
+    cpu = mercury.machine.boot_cpu
+    cpu.tlb.fill(9, 90, True)
+    cpu.interrupts_enabled = False
+    try:
+        reload_control_processor(cpu, mercury.kernel, PrivilegeLevel.PL0)
+    finally:
+        cpu.interrupts_enabled = True
+    assert 9 not in cpu.tlb
+
+
+def test_reload_edits_iret_frame(mercury):
+    cpu = mercury.machine.boot_cpu
+    cpu._iret_pl = PrivilegeLevel.PL0
+    cpu.interrupts_enabled = False
+    try:
+        reload_control_processor(cpu, mercury.kernel, PrivilegeLevel.PL1)
+    finally:
+        cpu.interrupts_enabled = True
+    assert cpu._iret_pl == PrivilegeLevel.PL1
+    del cpu._iret_pl
+
+
+def test_reload_secondary_touches_own_cpu_only(mercury):
+    """Secondary reload never needs the uninterruptible guard of the CP
+    (its caller, the rendezvous IPI handler, provides it)."""
+    cpu = mercury.machine.boot_cpu
+    reload_secondary(cpu, mercury.kernel, PrivilegeLevel.PL0)
+    assert cpu.cr3 == mercury.kernel.scheduler.current.aspace.pgd_frame

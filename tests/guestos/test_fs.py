@@ -1,0 +1,162 @@
+"""Filesystem: namespace, data paths, cache, journal, writeback."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import FileSystemError, SyscallError
+from repro.guestos.fs import BLOCK_SIZE, BufferCache
+
+
+def test_create_open_write_read(kernel, cpu):
+    fd = kernel.syscall(cpu, "open", "/a", True)
+    kernel.syscall(cpu, "write", fd, "hello", 10)
+    kernel.syscall(cpu, "lseek", fd, 0)
+    data = kernel.syscall(cpu, "read", fd, 10)
+    assert data == ["hello"]
+
+
+def test_open_missing_without_create(kernel, cpu):
+    with pytest.raises(FileSystemError):
+        kernel.syscall(cpu, "open", "/nope", False)
+
+
+def test_write_grows_file(kernel, cpu):
+    fd = kernel.syscall(cpu, "open", "/grow", True)
+    kernel.syscall(cpu, "write", fd, "x", 3 * BLOCK_SIZE)
+    st_ = kernel.syscall(cpu, "stat", "/grow")
+    assert st_["size"] == 3 * BLOCK_SIZE
+    assert st_["blocks"] == 3
+
+
+def test_read_past_eof_returns_empty(kernel, cpu):
+    fd = kernel.syscall(cpu, "open", "/short", True)
+    kernel.syscall(cpu, "write", fd, "x", 10)
+    kernel.syscall(cpu, "lseek", fd, BLOCK_SIZE * 5)
+    assert kernel.syscall(cpu, "read", fd, 100) == []
+
+
+def test_offsets_advance(kernel, cpu):
+    fd = kernel.syscall(cpu, "open", "/off", True)
+    kernel.syscall(cpu, "write", fd, "a", BLOCK_SIZE)
+    kernel.syscall(cpu, "write", fd, "b", BLOCK_SIZE)
+    kernel.syscall(cpu, "lseek", fd, 0)
+    assert kernel.syscall(cpu, "read", fd, BLOCK_SIZE) == ["a"]
+    assert kernel.syscall(cpu, "read", fd, BLOCK_SIZE) == ["b"]
+
+
+def test_unlink_removes(kernel, cpu):
+    kernel.syscall(cpu, "open", "/gone", True)
+    kernel.syscall(cpu, "unlink", "/gone")
+    assert not kernel.fs.exists("/gone")
+    with pytest.raises(FileSystemError):
+        kernel.syscall(cpu, "stat", "/gone")
+
+
+def test_fsync_persists_to_disk(kernel, cpu):
+    fd = kernel.syscall(cpu, "open", "/durable", True)
+    kernel.syscall(cpu, "write", fd, "persist-me", BLOCK_SIZE)
+    block = kernel.fs.inodes["/durable"].blocks[0]
+    assert block not in kernel.machine.disk.blocks  # still only cached
+    kernel.syscall(cpu, "fsync", fd)
+    assert kernel.machine.disk.blocks[block] == "persist-me"
+
+
+def test_fsync_commits_journal(kernel, cpu):
+    fd = kernel.syscall(cpu, "open", "/j", True)
+    kernel.syscall(cpu, "write", fd, "x", 10)
+    commits0 = kernel.fs.journal_commits
+    kernel.syscall(cpu, "fsync", fd)
+    assert kernel.fs.journal_commits == commits0 + 1
+
+
+def test_fsync_flushes_only_this_files_blocks(kernel, cpu):
+    fa = kernel.syscall(cpu, "open", "/a", True)
+    fb = kernel.syscall(cpu, "open", "/b", True)
+    kernel.syscall(cpu, "write", fa, "A", BLOCK_SIZE)
+    kernel.syscall(cpu, "write", fb, "B", BLOCK_SIZE)
+    kernel.syscall(cpu, "fsync", fa)
+    blk_b = kernel.fs.inodes["/b"].blocks[0]
+    assert blk_b not in kernel.machine.disk.blocks
+    assert blk_b in kernel.fs.cache.dirty  # still pending
+
+
+def test_read_hits_cache_after_write(kernel, cpu):
+    fd = kernel.syscall(cpu, "open", "/c", True)
+    kernel.syscall(cpu, "write", fd, "warm", BLOCK_SIZE)
+    hits0 = kernel.fs.cache.hits
+    kernel.syscall(cpu, "lseek", fd, 0)
+    kernel.syscall(cpu, "read", fd, BLOCK_SIZE)
+    assert kernel.fs.cache.hits == hits0 + 1
+
+
+def test_read_miss_goes_to_disk(kernel, cpu):
+    fd = kernel.syscall(cpu, "open", "/m", True)
+    kernel.syscall(cpu, "write", fd, "cold", BLOCK_SIZE)
+    kernel.syscall(cpu, "fsync", fd)
+    kernel.fs.cache.invalidate()
+    kernel.syscall(cpu, "lseek", fd, 0)
+    assert kernel.syscall(cpu, "read", fd, BLOCK_SIZE) == ["cold"]
+
+
+def test_writeback_partial(kernel, cpu):
+    fd = kernel.syscall(cpu, "open", "/wb", True)
+    kernel.syscall(cpu, "write", fd, "w", 6 * BLOCK_SIZE)
+    assert len(kernel.fs.cache.dirty) == 6
+    flushed = kernel.fs.writeback(cpu, max_blocks=2)
+    assert flushed == 2
+    assert len(kernel.fs.cache.dirty) == 4
+
+
+def test_sync_all(kernel, cpu):
+    fd = kernel.syscall(cpu, "open", "/all", True)
+    kernel.syscall(cpu, "write", fd, "x", 3 * BLOCK_SIZE)
+    assert kernel.fs.sync_all(cpu) == 3
+    assert not kernel.fs.cache.dirty
+
+
+def test_bad_fd_rejected(kernel, cpu):
+    with pytest.raises(SyscallError) as e:
+        kernel.syscall(cpu, "read", 99, 10)
+    assert e.value.errno == "EBADF"
+    with pytest.raises(SyscallError):
+        kernel.syscall(cpu, "close", 99)
+
+
+def test_cache_eviction_writes_back_dirty():
+    cache = BufferCache(capacity=2)
+    assert cache.put(1, "a", dirty=True) == []
+    assert cache.put(2, "b", dirty=True) == []
+    evicted = cache.put(3, "c", dirty=False)
+    assert evicted == [(1, "a")]  # oldest dirty block surfaced
+    assert 1 not in cache.dirty
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 5),
+                          st.text("ab", min_size=1, max_size=4)),
+                min_size=1, max_size=25))
+def test_property_read_after_write_consistency(ops):
+    """For any write pattern, reading a block back returns the last value
+    written to it."""
+    from repro import Machine, small_config
+    from repro.core.native_vo import NativeVO
+    from repro.guestos.kernel import Kernel
+
+    machine = Machine(small_config())
+    k = Kernel(machine, NativeVO(machine), name="prop")
+    k.boot(image_pages=4)
+    cpu = machine.boot_cpu
+    fds = {}
+    shadow: dict[tuple[int, int], str] = {}
+    for fileno, blockno, payload in ops:
+        path = f"/f{fileno}"
+        if path not in fds:
+            fds[path] = k.syscall(cpu, "open", path, True)
+        fd = fds[path]
+        k.syscall(cpu, "lseek", fd, blockno * BLOCK_SIZE)
+        k.syscall(cpu, "write", fd, payload, BLOCK_SIZE)
+        shadow[(fileno, blockno)] = payload
+    for (fileno, blockno), expect in shadow.items():
+        fd = fds[f"/f{fileno}"]
+        k.syscall(cpu, "lseek", fd, blockno * BLOCK_SIZE)
+        assert k.syscall(cpu, "read", fd, BLOCK_SIZE) == [expect]

@@ -1,0 +1,191 @@
+"""Pipes and signals."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SignalDelivered, SyscallError
+from repro.guestos.ipc import PIPE_CAPACITY, Pipe, SIGSEGV, SIGTERM, SIGUSR1
+from repro.guestos.process import TaskState
+from repro.params import PAGE_SIZE
+
+
+# ---------------------------------------------------------------------------
+# the Pipe object
+# ---------------------------------------------------------------------------
+
+def test_pipe_fifo():
+    p = Pipe()
+    p.write("a", 1)
+    p.write("b", 1)
+    assert p.read() == ("a", 1)
+    assert p.read() == ("b", 1)
+
+
+def test_pipe_empty_eagain():
+    with pytest.raises(SyscallError) as e:
+        Pipe().read()
+    assert e.value.errno == "EAGAIN"
+
+
+def test_pipe_capacity():
+    p = Pipe(capacity=10)
+    p.write("x", 10)
+    with pytest.raises(SyscallError) as e:
+        p.write("y", 1)
+    assert e.value.errno == "EAGAIN"
+    p.read()
+    p.write("y", 1)  # room again
+
+
+def test_pipe_eof_after_writer_closes():
+    p = Pipe()
+    p.write("last", 4)
+    p.write_open = False
+    assert p.read() == ("last", 4)
+    assert p.read() == (None, 0)  # EOF, not EAGAIN
+
+
+def test_pipe_epipe_without_reader():
+    p = Pipe()
+    p.read_open = False
+    with pytest.raises(SyscallError) as e:
+        p.write("x", 1)
+    assert e.value.errno == "EPIPE"
+
+
+# ---------------------------------------------------------------------------
+# syscall surface
+# ---------------------------------------------------------------------------
+
+def test_pipe_syscall_roundtrip(kernel, cpu):
+    rfd, wfd = kernel.syscall(cpu, "pipe")
+    kernel.syscall(cpu, "write", wfd, b"token", 5)
+    assert kernel.syscall(cpu, "read", rfd) == b"token"
+
+
+def test_pipe_wrong_end_rejected(kernel, cpu):
+    rfd, wfd = kernel.syscall(cpu, "pipe")
+    with pytest.raises(SyscallError):
+        kernel.syscall(cpu, "write", rfd, b"x", 1)
+    with pytest.raises(SyscallError):
+        kernel.syscall(cpu, "read", wfd)
+
+
+def test_pipe_shared_across_fork(kernel, cpu):
+    """The lmbench pattern: parent writes, the forked child reads."""
+    rfd, wfd = kernel.syscall(cpu, "pipe")
+    pid = kernel.syscall(cpu, "fork")
+    child = kernel.procs.get(pid)
+    kernel.syscall(cpu, "write", wfd, b"hello-child", 11)
+    kernel.switch_to(cpu, child)
+    assert kernel.syscall(cpu, "read", rfd, task=child) == b"hello-child"
+
+
+def test_pipe_close_ends_independently(kernel, cpu):
+    rfd, wfd = kernel.syscall(cpu, "pipe")
+    kernel.syscall(cpu, "write", wfd, b"x", 1)
+    kernel.syscall(cpu, "close", wfd)
+    assert kernel.syscall(cpu, "read", rfd) == b"x"
+    assert kernel.syscall(cpu, "read", rfd) is None  # EOF
+
+
+def test_pipe_end_stays_open_while_any_task_holds_it(kernel, cpu):
+    rfd, wfd = kernel.syscall(cpu, "pipe")
+    parent = kernel.scheduler.current
+    pid = kernel.syscall(cpu, "fork")
+    child = kernel.procs.get(pid)
+    kernel.syscall(cpu, "close", wfd)            # parent drops its write end
+    kernel.syscall(cpu, "write", wfd, b"k", 1, task=child)  # child still can
+    assert kernel.syscall(cpu, "read", rfd) == b"k"
+
+
+# ---------------------------------------------------------------------------
+# signals
+# ---------------------------------------------------------------------------
+
+def test_sigsegv_handler_catches_prot_fault(kernel, cpu):
+    """lmbench's lat_sig pattern: a handler fields the protection fault
+    and execution continues past it."""
+    task = kernel.scheduler.current
+    base = kernel.syscall(cpu, "mmap", PAGE_SIZE, True)
+    kernel.syscall(cpu, "mprotect", base, PAGE_SIZE, False)
+    caught = []
+    kernel.syscall(cpu, "sigaction", SIGSEGV,
+                   lambda t, sig, info: caught.append(info))
+    with pytest.raises(SignalDelivered):
+        kernel.vmem.access(cpu, task, base, write=True)
+    assert caught == [base]
+    assert task.signals.delivered == 1
+
+
+def test_unhandled_sigsegv_keeps_classic_behaviour(kernel, cpu):
+    task = kernel.scheduler.current
+    with pytest.raises(SyscallError) as e:
+        kernel.vmem.access(cpu, task, 0x7000_0000, write=True)
+    assert e.value.errno == "SIGSEGV"
+    assert task.signals.pending_fatal == SIGSEGV
+
+
+def test_kill_with_handler(kernel, cpu):
+    got = []
+    pid = kernel.syscall(cpu, "fork")
+    child = kernel.procs.get(pid)
+    kernel.ipc.register_handler(child, SIGUSR1,
+                                lambda t, s, i: got.append(s))
+    kernel.syscall(cpu, "kill", pid, SIGUSR1)
+    assert got == [SIGUSR1]
+    assert child.state != TaskState.ZOMBIE
+
+
+def test_kill_default_terminates(kernel, cpu):
+    pid = kernel.syscall(cpu, "fork")
+    child = kernel.procs.get(pid)
+    kernel.syscall(cpu, "kill", pid, SIGTERM)
+    assert child.state == TaskState.ZOMBIE
+    assert child.exit_code == 128 + SIGTERM
+
+
+def test_fork_copies_handlers_not_shared(kernel, cpu):
+    got = []
+    kernel.syscall(cpu, "sigaction", SIGUSR1, lambda t, s, i: got.append(1))
+    pid = kernel.syscall(cpu, "fork")
+    child = kernel.procs.get(pid)
+    assert SIGUSR1 in child.signals.handlers
+    child.signals.handlers.clear()        # child's change...
+    parent = kernel.scheduler.current
+    assert SIGUSR1 in parent.signals.handlers  # ...does not affect parent
+
+
+def test_handler_survives_mode_switch(mercury):
+    """Signal dispositions are plain kernel state: unaffected by
+    self-virtualization."""
+    k = mercury.kernel
+    cpu = mercury.machine.boot_cpu
+    got = []
+    k.syscall(cpu, "sigaction", SIGUSR1, lambda t, s, i: got.append(s))
+    mercury.attach()
+    k.syscall(cpu, "kill", k.scheduler.current.pid, SIGUSR1)
+    mercury.detach()
+    k.syscall(cpu, "kill", k.scheduler.current.pid, SIGUSR1)
+    assert got == [SIGUSR1, SIGUSR1]
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(st.booleans(), st.integers(1, 2000)), max_size=40))
+def test_property_pipe_conserves_bytes(ops):
+    """Writes in, reads out: byte counts balance and order is preserved."""
+    p = Pipe(capacity=PIPE_CAPACITY)
+    written, read = [], []
+    for is_write, n in ops:
+        try:
+            if is_write:
+                p.write(n, n)
+                written.append(n)
+            else:
+                data, nbytes = p.read()
+                if nbytes:
+                    read.append(nbytes)
+        except SyscallError:
+            pass
+    assert read == written[:len(read)]
+    assert p.buffered_bytes == sum(written) - sum(read)

@@ -1,0 +1,91 @@
+"""OOM killer and the periodic writeback daemon."""
+
+import pytest
+
+from repro import Machine, small_config
+from repro.core.native_vo import NativeVO
+from repro.errors import OutOfMemory
+from repro.guestos.kernel import Kernel
+from repro.guestos.process import TaskState
+from repro.params import PAGE_SIZE
+
+
+def _tiny_kernel(mem_kb=512):
+    machine = Machine(small_config(mem_kb=mem_kb))
+    k = Kernel(machine, NativeVO(machine), name="tiny")
+    k.boot(image_pages=4)
+    return k, machine.boot_cpu
+
+
+def test_oom_killer_sacrifices_largest_task():
+    k, cpu = _tiny_kernel(mem_kb=700)
+    # a fat victim process
+    fat_pid = k.syscall(cpu, "fork")
+    fat = k.procs.get(fat_pid)
+    base = k.vmem.mmap(cpu, fat, 24 * PAGE_SIZE, populate=True)
+    # the current task now demand-pages until memory runs dry
+    me = k.scheduler.current
+    mine = k.syscall(cpu, "mmap", 512 * PAGE_SIZE)  # lazy, huge
+    free = k.machine.memory.free_frames
+    for i in range(free + 5):  # guaranteed to cross the limit
+        k.vmem.access(cpu, me, mine + i * PAGE_SIZE, write=True)
+        if fat.state == TaskState.ZOMBIE:
+            break
+    assert fat.state == TaskState.ZOMBIE
+    assert fat.exit_code == 137
+    assert k.vmem.oom_kills >= 1
+    # the survivor keeps running
+    assert k.syscall(cpu, "getpid") == me.pid
+
+
+def test_oom_with_no_victim_still_raises():
+    k, cpu = _tiny_kernel(mem_kb=512)
+    me = k.scheduler.current
+    base = k.syscall(cpu, "mmap", 512 * PAGE_SIZE)
+    with pytest.raises(OutOfMemory):
+        for i in range(512):
+            k.vmem.access(cpu, me, base + i * PAGE_SIZE, write=True)
+    assert k.vmem.oom_kills == 0  # nobody to kill but init and me
+
+
+def test_init_is_never_the_victim():
+    k, cpu = _tiny_kernel(mem_kb=700)
+    init = k.procs.get(1)
+    child_pid = k.syscall(cpu, "fork")
+    child = k.procs.get(child_pid)
+    k.switch_to(cpu, child)
+    base = k.syscall(cpu, "mmap", 512 * PAGE_SIZE, task=child)
+    try:
+        for i in range(512):
+            k.vmem.access(cpu, child, base + i * PAGE_SIZE, write=True)
+    except OutOfMemory:
+        pass
+    assert init.state != TaskState.ZOMBIE
+
+
+def test_writeback_daemon_drains_dirty_blocks(kernel, cpu):
+    fd = kernel.syscall(cpu, "open", "/wb", True)
+    kernel.syscall(cpu, "write", fd, "x", 8 * 4096)
+    assert len(kernel.fs.cache.dirty) == 8
+    kernel.start_writeback_daemon(interval_ms=1, blocks_per_pass=4)
+    clock = kernel.machine.clock
+    for _ in range(3):
+        clock.advance(int(1.2 * 1000 * 3000))
+        clock.run_due()
+        kernel.machine.poll()
+    kernel.stop_writeback_daemon()
+    assert len(kernel.fs.cache.dirty) == 0
+    block = kernel.fs.inodes["/wb"].blocks[0]
+    kernel.machine.run_until_idle()
+    assert block in kernel.machine.disk.blocks
+
+
+def test_writeback_daemon_stop(kernel, cpu):
+    fd = kernel.syscall(cpu, "open", "/wb2", True)
+    kernel.syscall(cpu, "write", fd, "x", 4 * 4096)
+    kernel.start_writeback_daemon(interval_ms=1)
+    kernel.stop_writeback_daemon()
+    clock = kernel.machine.clock
+    clock.advance(int(5 * 1000 * 3000))
+    clock.run_due()
+    assert len(kernel.fs.cache.dirty) == 4  # nothing flushed after stop

@@ -1,0 +1,104 @@
+"""Clock: cycle accounting and the timer event queue."""
+
+import pytest
+
+from repro.hw.clock import Clock
+
+
+def test_advance_accumulates():
+    c = Clock(freq_mhz=3000)
+    c.advance(1500)
+    c.advance(1500)
+    assert c.cycles == 3000
+    assert c.now_us() == pytest.approx(1.0)
+
+
+def test_advance_rejects_negative():
+    c = Clock()
+    with pytest.raises(ValueError):
+        c.advance(-1)
+
+
+def test_now_ms_conversion():
+    c = Clock(freq_mhz=3000)
+    c.advance(3_000_000)
+    assert c.now_ms() == pytest.approx(1.0)
+
+
+def test_schedule_fires_only_after_deadline():
+    c = Clock()
+    fired = []
+    c.schedule(100, lambda: fired.append("a"))
+    assert c.run_due() == 0
+    c.advance(99)
+    assert c.run_due() == 0
+    c.advance(1)
+    assert c.run_due() == 1
+    assert fired == ["a"]
+
+
+def test_schedule_ordering_is_deadline_then_fifo():
+    c = Clock()
+    fired = []
+    c.schedule(200, lambda: fired.append("late"))
+    c.schedule(100, lambda: fired.append("early1"))
+    c.schedule(100, lambda: fired.append("early2"))
+    c.advance(300)
+    c.run_due()
+    assert fired == ["early1", "early2", "late"]
+
+
+def test_schedule_zero_delay_fires_immediately_on_poll():
+    c = Clock()
+    fired = []
+    c.schedule(0, lambda: fired.append(1))
+    assert c.run_due() == 1
+
+
+def test_schedule_negative_delay_clamped():
+    c = Clock()
+    fired = []
+    c.schedule(-50, lambda: fired.append(1))
+    assert c.run_due() == 1
+
+
+def test_next_deadline():
+    c = Clock()
+    assert c.next_deadline() is None
+    c.schedule(500, lambda: None)
+    c.schedule(100, lambda: None)
+    assert c.next_deadline() == 100
+
+
+def test_drain_until_idle_advances_time_to_deadlines():
+    c = Clock()
+    order = []
+    c.schedule(1000, lambda: order.append(c.cycles))
+    c.schedule(5000, lambda: order.append(c.cycles))
+    ran = c.drain_until_idle()
+    assert ran == 2
+    assert order == [1000, 5000]
+    assert c.cycles == 5000
+
+
+def test_drain_until_idle_handles_chained_events():
+    c = Clock()
+    fired = []
+
+    def first():
+        fired.append("first")
+        c.schedule(100, lambda: fired.append("second"))
+
+    c.schedule(10, first)
+    c.drain_until_idle()
+    assert fired == ["first", "second"]
+
+
+def test_schedule_us():
+    c = Clock(freq_mhz=3000)
+    fired = []
+    c.schedule_us(1.0, lambda: fired.append(1))
+    c.advance(2999)
+    assert c.run_due() == 0
+    c.advance(1)
+    assert c.run_due() == 1

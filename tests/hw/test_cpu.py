@@ -1,0 +1,93 @@
+"""CPU: privilege enforcement, control registers, trap interception."""
+
+import pytest
+
+from repro.errors import GeneralProtectionFault
+from repro.hw.cpu import PrivilegeLevel, SegmentDescriptor
+
+
+def test_boots_at_pl0(cpu):
+    assert cpu.pl == PrivilegeLevel.PL0
+
+
+def test_rdtsc_tracks_clock(cpu):
+    t0 = cpu.rdtsc()
+    cpu.charge(12345)
+    assert cpu.rdtsc() - t0 == 12345
+
+
+def test_charge_advances_global_clock(machine):
+    cpu = machine.boot_cpu
+    before = machine.clock.cycles
+    cpu.charge(100)
+    assert machine.clock.cycles == before + 100
+
+
+def test_write_cr3_requires_pl0(cpu):
+    cpu.set_privilege(PrivilegeLevel.PL3)
+    with pytest.raises(GeneralProtectionFault):
+        cpu.write_cr3(5)
+
+
+def test_write_cr3_flushes_tlb(cpu):
+    cpu.tlb.fill(7, 42, True)
+    cpu.write_cr3(5)
+    assert cpu.cr3 == 5
+    assert 7 not in cpu.tlb
+
+
+def test_cli_sti_toggle_interrupt_flag(cpu):
+    cpu.cli()
+    assert not cpu.interrupts_enabled
+    cpu.sti()
+    assert cpu.interrupts_enabled
+
+
+def test_cli_denied_at_user_level(cpu):
+    cpu.set_privilege(PrivilegeLevel.PL3)
+    with pytest.raises(GeneralProtectionFault):
+        cpu.cli()
+
+
+def test_privileged_op_executes_directly_at_pl0(cpu):
+    before = cpu.rdtsc()
+    cpu.privileged_op("wrmsr")
+    assert cpu.rdtsc() - before == cpu.cost.cyc_privop_native
+
+
+def test_privileged_op_faults_without_vmm_at_pl1(cpu):
+    cpu.set_privilege(PrivilegeLevel.PL1)
+    with pytest.raises(GeneralProtectionFault):
+        cpu.privileged_op("wrmsr")
+
+
+def test_privileged_op_traps_to_vmm_handler(cpu):
+    """A de-privileged sensitive instruction must reach the installed trap
+    handler — the interception §3.1 calls mandatory."""
+    seen = []
+    cpu.trap_handler = lambda c, what, args: seen.append((what, args))
+    cpu.set_privilege(PrivilegeLevel.PL1)
+    cpu.privileged_op("wrmsr", 1, 2)
+    assert seen == [("wrmsr", (1, 2))]
+
+
+def test_trap_charges_roundtrip_cost(cpu):
+    cpu.trap_handler = lambda c, what, args: None
+    cpu.set_privilege(PrivilegeLevel.PL1)
+    t0 = cpu.rdtsc()
+    cpu.privileged_op("wrmsr")
+    assert cpu.rdtsc() - t0 == cpu.cost.cyc_trap_roundtrip
+
+
+def test_load_gdt_and_descriptor_dpl(cpu):
+    gdt = {1: SegmentDescriptor("kernel_cs", 0)}
+    cpu.load_gdt(gdt)
+    assert cpu.gdt[1].dpl == 0
+    cpu.gdt[1].dpl = 1
+    assert cpu.gdt[1].dpl == 1
+
+
+def test_load_idt_requires_privilege(cpu):
+    cpu.set_privilege(PrivilegeLevel.PL3)
+    with pytest.raises(GeneralProtectionFault):
+        cpu.load_idt(object())

@@ -1,0 +1,138 @@
+"""Devices: disk latency model, NIC + link, timer."""
+
+import pytest
+
+from repro.errors import DeviceError, HardwareError
+from repro.hw.devices import BlockRequest, Packet
+from repro.hw.interrupts import Idt, VEC_DISK, VEC_NET
+from repro.hw.machine import Machine
+from repro.params import small_config
+
+
+def _install_idt(machine, log):
+    idt = Idt("t")
+    idt.set_gate(VEC_DISK, lambda c, v: log.append("disk"))
+    idt.set_gate(VEC_NET, lambda c, v: log.append("net"))
+    machine.boot_cpu.load_idt(idt)
+    machine.intc.bind_line("sda", 0, VEC_DISK)
+    machine.intc.bind_line("eth0", 0, VEC_NET)
+
+
+def test_block_write_then_read(machine):
+    log = []
+    _install_idt(machine, log)
+    w = BlockRequest(op="write", block=2000, data="payload")
+    machine.disk.submit(w)
+    machine.run_until_idle()
+    assert w.done
+    r = BlockRequest(op="read", block=2000)
+    machine.disk.submit(r)
+    machine.run_until_idle()
+    assert r.result == "payload"
+    assert log == ["disk", "disk"]
+
+
+def test_block_out_of_range_rejected(machine):
+    with pytest.raises(DeviceError):
+        machine.disk.submit(BlockRequest(op="read", block=1 << 40))
+
+
+def test_unknown_op_errors_at_completion(machine):
+    log = []
+    _install_idt(machine, log)
+    machine.disk.submit(BlockRequest(op="trim", block=1))
+    with pytest.raises(DeviceError):
+        machine.run_until_idle()
+
+
+def test_sequential_access_is_much_cheaper_than_seek(machine):
+    log = []
+    _install_idt(machine, log)
+
+    def latency(block):
+        t0 = machine.clock.cycles
+        req = BlockRequest(op="write", block=block, data="x")
+        machine.disk.submit(req)
+        machine.run_until_idle()
+        return machine.clock.cycles - t0
+
+    far = latency(500_000)            # long seek from the start position
+    near = latency(500_001)           # adjacent block: streams
+    assert far > 10 * near
+
+
+def test_sync_helpers_bypass_interrupts(machine):
+    machine.disk.write_sync(5, "boot")
+    assert machine.disk.read_sync(5) == "boot"
+
+
+def test_nic_without_link_rejects_tx(machine):
+    with pytest.raises(DeviceError):
+        machine.nic.transmit(Packet("a", "b", "udp", 100))
+
+
+def test_linked_machines_deliver_packets():
+    a = Machine(small_config())
+    b = Machine(small_config(), clock=a.clock)
+    a.link_to(b)
+    log = []
+    idt = Idt("t")
+    idt.set_gate(VEC_NET, lambda c, v: log.append("rx"))
+    b.boot_cpu.load_idt(idt)
+    b.intc.bind_line("eth0", 0, VEC_NET)
+    a.nic.transmit(Packet(a.nic.addr, b.nic.addr, "udp", 1000, payload="hi"))
+    b.run_until_idle()
+    assert log == ["rx"]
+    assert b.nic.rx_queue[0].payload == "hi"
+    assert a.nic.tx_packets == 1 and b.nic.rx_packets == 1
+
+
+def test_link_requires_shared_clock():
+    a = Machine(small_config())
+    b = Machine(small_config())  # different clock
+    with pytest.raises(HardwareError):
+        a.link_to(b)
+
+
+def test_wire_backpressure_serializes_bulk_tx():
+    """A burst of frames cannot finish faster than the wire rate."""
+    a = Machine(small_config())
+    b = Machine(small_config(), clock=a.clock)
+    a.link_to(b)
+    idt = Idt("t")
+    idt.set_gate(VEC_NET, lambda c, v: None)
+    b.boot_cpu.load_idt(idt)
+    b.intc.bind_line("eth0", 0, VEC_NET)
+    n, size = 50, 1024
+    t0 = a.clock.cycles
+    for i in range(n):
+        a.nic.transmit(Packet(a.nic.addr, b.nic.addr, "udp", size, seq=i))
+    b.run_until_idle()
+    elapsed_ns = (a.clock.cycles - t0) * 1000 / a.config.cost.freq_mhz
+    min_wire_ns = n * a.config.cost.net_wire_ns_per_kb  # 1 KiB each
+    assert elapsed_ns >= min_wire_ns
+
+
+def test_timer_ticks_at_configured_rate(machine):
+    idt = Idt("t")
+    ticks = []
+    from repro.hw.interrupts import VEC_TIMER
+    idt.set_gate(VEC_TIMER, lambda c, v: ticks.append(machine.clock.cycles))
+    machine.boot_cpu.load_idt(idt)
+    machine.intc.bind_line("timer", 0, VEC_TIMER)
+    machine.timer.start()
+    period = machine.timer.period_cycles
+    for _ in range(3):
+        machine.clock.cycles += period
+        machine.poll()
+    machine.timer.stop()
+    assert len(ticks) == 3
+    assert ticks[1] - ticks[0] >= period - 1
+
+
+def test_timer_stop_prevents_further_ticks(machine):
+    machine.timer.start()
+    machine.timer.stop()
+    machine.clock.cycles += machine.timer.period_cycles * 2
+    machine.clock.run_due()
+    assert machine.timer.ticks == 0

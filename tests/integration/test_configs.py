@@ -1,0 +1,95 @@
+"""The six configurations: construction, equivalences, paper shape.
+
+These are the repository's headline integration assertions: Mercury's
+modes must be indistinguishable (cost-wise) from their always-on
+counterparts, and native mode must be indistinguishable from unmodified
+Linux — §7.3's core claims.
+"""
+
+import pytest
+
+from repro.bench.configs import CONFIG_KEYS, build_config
+from repro.errors import ReproError
+from repro.params import small_config
+from repro.workloads.lmbench import bench_fork, bench_page_fault
+
+CFG = small_config(mem_kb=65536)
+
+
+@pytest.fixture(scope="module")
+def fork_costs():
+    # a realistically-sized image (the paper's lmbench processes are a few
+    # hundred pages) so page-table work dominates, as on real hardware
+    costs = {}
+    for key in CONFIG_KEYS:
+        sut = build_config(key, CFG, image_pages=256)
+        costs[key] = bench_fork(sut.kernel, sut.cpu, iters=3)
+    return costs
+
+
+def test_all_six_configs_build_and_run():
+    for key in CONFIG_KEYS:
+        sut = build_config(key, CFG, image_pages=16)
+        pid = sut.kernel.syscall(sut.cpu, "fork")
+        sut.kernel.run_and_reap(sut.cpu, sut.kernel.procs.get(pid))
+
+
+def test_unknown_config_rejected():
+    with pytest.raises(ReproError):
+        build_config("Z-9", CFG)
+
+
+def test_mercury_native_within_2pct_of_native(fork_costs):
+    """§7.3: 'the overhead in Mercury ... is less than 2% compared to
+    native Linux'."""
+    assert fork_costs["M-N"] == pytest.approx(fork_costs["N-L"], rel=0.02)
+    assert fork_costs["M-N"] >= fork_costs["N-L"]  # but not free
+
+
+def test_mercury_virtual_matches_dom0(fork_costs):
+    assert fork_costs["M-V"] == pytest.approx(fork_costs["X-0"], rel=0.02)
+
+
+def test_mercury_hosted_matches_domU(fork_costs):
+    assert fork_costs["M-U"] == pytest.approx(fork_costs["X-U"], rel=0.02)
+
+
+def test_virtualization_fork_penalty_in_paper_band(fork_costs):
+    """Table 1 shape: fork under Xen is several times native (the paper
+    measures ~4.9x; we accept 2.5-7x)."""
+    ratio = fork_costs["X-0"] / fork_costs["N-L"]
+    assert 2.5 < ratio < 7.0
+
+
+def test_page_fault_penalty_in_paper_band():
+    suts = {key: build_config(key, CFG, image_pages=16)
+            for key in ("N-L", "X-0")}
+    pf = {key: bench_page_fault(s.kernel, s.cpu, iters=32)
+          for key, s in suts.items()}
+    ratio = pf["X-0"] / pf["N-L"]
+    assert 1.8 < ratio < 4.0  # paper: 3.09/1.22 = 2.5x
+
+
+def test_domU_runs_without_direct_devices():
+    sut = build_config("X-U", CFG, image_pages=16)
+    assert sut.kernel.has_devices is False
+    assert sut.driver_kernel is not None
+    # yet its filesystem works (through the rings)
+    fd = sut.kernel.syscall(sut.cpu, "open", "/xu", True)
+    sut.kernel.syscall(sut.cpu, "write", fd, "data", 4096)
+    sut.kernel.syscall(sut.cpu, "fsync", fd)
+
+
+def test_MU_guest_is_hosted_by_mercury():
+    sut = build_config("M-U", CFG, image_pages=16)
+    assert sut.mercury is not None
+    assert sut.kernel in sut.mercury.guests
+    assert sut.driver_kernel is sut.mercury.kernel
+
+
+def test_peer_is_always_native():
+    for key in ("N-L", "X-U"):
+        sut = build_config(key, CFG, image_pages=16)
+        assert sut.peer_kernel.vo.mode_name == "bare"
+        assert sut.peer_kernel.machine is not sut.machine
+        assert sut.peer_kernel.machine.clock is sut.machine.clock

@@ -1,0 +1,56 @@
+"""Determinism: identical runs produce identical cycle counts.
+
+The benches assert numeric shapes; that only works because the simulator
+has no hidden nondeterminism (no wall clock, no unseeded RNG, no hash
+ordering dependence in charged paths).
+"""
+
+import pytest
+
+from repro import Machine, Mercury, small_config
+from repro.bench.configs import build_config
+from repro.workloads.dbench import run_dbench
+from repro.workloads.lmbench import bench_ctx, bench_fork
+from repro.workloads.osdb import run_osdb_ir
+
+CFG = small_config(mem_kb=65536)
+
+
+def test_fork_bench_bit_identical_across_builds():
+    runs = []
+    for _ in range(2):
+        sut = build_config("X-0", CFG, image_pages=64)
+        runs.append(bench_fork(sut.kernel, sut.cpu, iters=3))
+    assert runs[0] == runs[1]
+
+
+def test_ctx_bench_bit_identical():
+    runs = []
+    for _ in range(2):
+        sut = build_config("N-L", CFG, image_pages=64)
+        runs.append(bench_ctx(sut.kernel, sut.cpu, 4, 16, rounds=2))
+    assert runs[0] == runs[1]
+
+
+def test_app_workloads_bit_identical():
+    runs = []
+    for _ in range(2):
+        sut = build_config("X-U", CFG, image_pages=32)
+        osdb = run_osdb_ir(sut.kernel, sut.cpu, rows=256, queries=20)
+        db = run_dbench(sut.kernel, sut.cpu, clients=2, files_per_client=2)
+        runs.append((osdb.elapsed_us, db.elapsed_us))
+    assert runs[0] == runs[1]
+
+
+def test_mode_switch_bit_identical():
+    cycles = []
+    for _ in range(2):
+        machine = Machine(CFG)
+        mc = Mercury(machine)
+        k = mc.create_kernel(image_pages=64)
+        for _ in range(5):
+            k.syscall(machine.boot_cpu, "fork")
+        rec = mc.attach()
+        cycles.append(rec.cycles)
+        mc.detach()
+    assert cycles[0] == cycles[1]

@@ -1,0 +1,53 @@
+"""Decomposing Mercury's native-mode overhead.
+
+§7.2: "Despite a number [of] pointer indirection[s] introduced by the
+virtualization objects when accessing virtualization-sensitive code and
+data, Mercury still only incurs negligible overhead" — here we verify the
+M-N minus N-L delta *is* the indirection, cycle for cycle: no hidden cost
+leaks into the native mode.
+"""
+
+import pytest
+
+from repro.bench.configs import build_config
+from repro.params import small_config
+
+CFG = small_config(mem_kb=65536)
+
+
+def _fork_cycles_and_entries(key):
+    sut = build_config(key, CFG, image_pages=128)
+    k, cpu = sut.kernel, sut.cpu
+    entries0 = k.vo.entries
+    t0 = cpu.rdtsc()
+    pid = k.syscall(cpu, "fork")
+    k.run_and_reap(cpu, k.procs.get(pid))
+    return cpu.rdtsc() - t0, k.vo.entries - entries0
+
+
+def test_mn_overhead_is_exactly_the_vo_indirection():
+    nl_cycles, nl_entries = _fork_cycles_and_entries("N-L")
+    mn_cycles, mn_entries = _fork_cycles_and_entries("M-N")
+    # same code path: same number of sensitive-code entries
+    assert mn_entries == nl_entries
+    # the delta is the function-table indirection, cycle for cycle
+    delta = mn_cycles - nl_cycles
+    cost = CFG.cost.cyc_vo_indirect
+    assert delta == mn_entries * cost, (
+        f"M-N overhead {delta} cycles != {mn_entries} VO entries "
+        f"x {cost} cycles — something besides the indirection leaked in")
+
+
+def test_mn_overhead_fraction_is_negligible():
+    """The <2% headline, at the microbenchmark level."""
+    nl_cycles, _ = _fork_cycles_and_entries("N-L")
+    mn_cycles, _ = _fork_cycles_and_entries("M-N")
+    assert (mn_cycles - nl_cycles) / nl_cycles < 0.02
+
+
+def test_mv_matches_x0_exactly():
+    """M-V and X-0 run the identical virtual path: zero delta, not just
+    'within tolerance'."""
+    x0_cycles, x0_entries = _fork_cycles_and_entries("X-0")
+    mv_cycles, mv_entries = _fork_cycles_and_entries("M-V")
+    assert (mv_cycles, mv_entries) == (x0_cycles, x0_entries)

@@ -1,0 +1,137 @@
+"""Randomized whole-system property tests.
+
+hypothesis drives arbitrary interleavings of workload operations and mode
+switches, and after every step the full §4.3 invariant suite
+(:mod:`repro.core.invariants`) must hold.  This is the strongest
+correctness statement in the repository: *no* reachable sequence of
+application activity and self-virtualization events leaves the system
+inconsistent.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import Machine, Mercury, small_config
+from repro.core.invariants import check_all
+from repro.core.mercury import Mode
+from repro.guestos.fs import BLOCK_SIZE
+from repro.params import PAGE_SIZE
+from repro.scenarios.checkpoint import checkpoint, restore
+
+OPS = st.sampled_from([
+    "fork", "reap", "exec", "mmap", "munmap", "touch",
+    "write", "read", "fsync", "attach", "detach",
+])
+
+
+def _fresh(paging=None):
+    from repro.core.mercury import PagingMode
+    machine = Machine(small_config(mem_kb=32768))
+    mercury = Mercury(machine, paging=paging or PagingMode.DIRECT)
+    mercury.create_kernel(image_pages=8)
+    return mercury
+
+
+def _apply(mercury, op, state) -> None:
+    k = mercury.kernel
+    cpu = mercury.machine.boot_cpu
+    if op == "fork" and len(state["children"]) < 5:
+        pid = k.syscall(cpu, "fork")
+        state["children"].append(k.procs.get(pid))
+    elif op == "reap" and state["children"]:
+        k.run_and_reap(cpu, state["children"].pop())
+    elif op == "exec" and state["children"]:
+        child = state["children"][-1]
+        k.switch_to(cpu, child)
+        k.syscall(cpu, "exec", "x", 6, task=child)
+        k.switch_to(cpu, k.procs.get(1))
+    elif op == "mmap":
+        base = k.syscall(cpu, "mmap", 2 * PAGE_SIZE, True)
+        state["regions"].append((base, 2 * PAGE_SIZE))
+    elif op == "munmap" and state["regions"]:
+        base, length = state["regions"].pop()
+        k.syscall(cpu, "munmap", base, length)
+    elif op == "touch":
+        task = k.scheduler.current
+        base = k.syscall(cpu, "mmap", PAGE_SIZE)
+        k.vmem.access(cpu, task, base, write=True)
+        state["regions"].append((base, PAGE_SIZE))
+    elif op == "write":
+        fd = state.get("fd")
+        if fd is None:
+            fd = state["fd"] = k.syscall(cpu, "open", "/prop", True)
+        k.syscall(cpu, "write", fd, "payload", BLOCK_SIZE)
+    elif op == "read" and state.get("fd") is not None:
+        k.syscall(cpu, "lseek", state["fd"], 0)
+        k.syscall(cpu, "read", state["fd"], BLOCK_SIZE)
+    elif op == "fsync" and state.get("fd") is not None:
+        k.syscall(cpu, "fsync", state["fd"])
+    elif op == "attach" and mercury.mode is Mode.NATIVE:
+        mercury.attach()
+    elif op == "detach" and mercury.mode is not Mode.NATIVE:
+        mercury.detach()
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(OPS, max_size=25))
+def test_property_invariants_hold_under_any_interleaving(ops):
+    mercury = _fresh()
+    state = {"children": [], "regions": []}
+    for op in ops:
+        _apply(mercury, op, state)
+        violations = check_all(mercury)
+        assert violations == [], f"after {op!r}: {violations}"
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(OPS, max_size=20))
+def test_property_invariants_hold_in_shadow_mode(ops):
+    """The same whole-system property, under shadow paging (ablation A4
+    plumbing): shadows must stay coherent through any interleaving."""
+    from repro.core.mercury import PagingMode
+    mercury = _fresh(PagingMode.SHADOW)
+    state = {"children": [], "regions": []}
+    for op in ops:
+        _apply(mercury, op, state)
+        violations = check_all(mercury)
+        assert violations == [], f"after {op!r}: {violations}"
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(OPS, max_size=12), st.lists(OPS, max_size=8))
+def test_property_checkpoint_restore_roundtrip(before_ops, after_ops):
+    """Any state is checkpointable, and restoring always reproduces it:
+    the invariants hold and the filesystem/process population match."""
+    mercury = _fresh()
+    state = {"children": [], "regions": []}
+    for op in before_ops:
+        _apply(mercury, op, state)
+
+    k = mercury.kernel
+    fs_before = {p: i.size for p, i in k.fs.inodes.items()}
+    tasks_before = sorted(k.procs.tasks)
+    image = checkpoint(mercury)
+
+    # diverge arbitrarily, then roll back
+    for op in after_ops:
+        _apply(mercury, op, state)
+    if mercury.mode is not Mode.NATIVE:
+        mercury.detach()
+    restore(image, mercury)
+
+    assert {p: i.size for p, i in k.fs.inodes.items()} == fs_before
+    assert sorted(k.procs.tasks) == tasks_before
+    violations = check_all(mercury)
+    assert violations == [], violations
+
+
+def test_invariant_checker_detects_injected_damage():
+    """The checker itself must not be vacuous."""
+    mercury = _fresh()
+    assert check_all(mercury) == []
+    t = mercury.kernel.scheduler.current
+    mercury.kernel.scheduler.runqueue.extend([t, t])
+    assert any("duplicated" in v for v in check_all(mercury))

@@ -1,0 +1,83 @@
+"""The bench layer itself: runners, normalization, report formatting."""
+
+import math
+
+import pytest
+
+from repro.bench.report import (format_app_table, format_lmbench_table,
+                                format_relative_figure, format_switch_times)
+from repro.bench.runner import relative_to_native
+
+
+def test_relative_to_native_higher_is_better():
+    table = {"OSDB-IR": {"N-L": 100.0, "X-0": 80.0}}
+    rel = relative_to_native(table)
+    assert rel["OSDB-IR"]["N-L"] == pytest.approx(1.0)
+    assert rel["OSDB-IR"]["X-0"] == pytest.approx(0.8)
+
+
+def test_relative_to_native_inverts_lower_is_better_rows():
+    # build time: 100 s native, 110 s virtualized -> relative 0.909
+    table = {"Linux build": {"N-L": 100.0, "X-0": 110.0},
+             "ping": {"N-L": 100.0, "X-0": 125.0}}
+    rel = relative_to_native(table)
+    assert rel["Linux build"]["X-0"] == pytest.approx(100 / 110)
+    assert rel["ping"]["X-0"] == pytest.approx(0.8)
+
+
+def test_relative_to_native_skips_rows_without_baseline():
+    rel = relative_to_native({"orphan": {"X-0": 5.0}})
+    assert rel == {}
+
+
+def test_relative_handles_zero_values():
+    rel = relative_to_native({"ping": {"N-L": 10.0, "X-0": 0.0}})
+    assert rel["ping"]["X-0"] == 0.0
+
+
+def test_format_lmbench_table_layout():
+    table = {"Fork Process": {"N-L": 98.0, "X-0": 482.0},
+             "Page Fault": {"N-L": 1.22, "X-0": 3.09}}
+    text = format_lmbench_table(table, "T", keys=("N-L", "X-0"))
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "Fork Process" in text and "482.00" in text
+    # rows print in the paper's order: fork before page fault
+    assert text.index("Fork Process") < text.index("Page Fault")
+    assert "microseconds" in text
+
+
+def test_format_lmbench_table_handles_missing_configs():
+    table = {"Fork Process": {"N-L": 98.0}}
+    text = format_lmbench_table(table, "T", keys=("N-L", "X-0"))
+    assert "N-L" in text
+    assert "X-0" not in text  # absent columns are dropped, not NaN'd
+
+
+def test_format_app_table_units():
+    table = {"dbench": {"N-L": 12.5}, "ping": {"N-L": 113.0}}
+    text = format_app_table(table, "apps", keys=("N-L",))
+    assert "MB/s" in text and "µs" in text
+
+
+def test_format_relative_figure():
+    rel = {"dbench": {"N-L": 1.0, "X-U": 1.05}}
+    text = format_relative_figure(rel, "fig", keys=("N-L", "X-U"))
+    assert "1.050" in text
+    assert "higher is better" in text
+
+
+def test_format_switch_times_mentions_paper():
+    text = format_switch_times(204.0, 46.0)
+    assert "0.204 ms" in text
+    assert "0.22" in text and "0.06" in text
+
+
+def test_bare_metal_vo_has_no_indirection_cost(machine):
+    from repro.bench.configs import BareMetalVO
+    vo = BareMetalVO(machine)
+    cpu = machine.boot_cpu
+    t0 = cpu.rdtsc()
+    vo.enter(cpu)
+    vo.exit(cpu)
+    assert cpu.rdtsc() == t0  # truly free, unlike Mercury's NativeVO

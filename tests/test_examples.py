@@ -1,0 +1,46 @@
+"""Smoke-run every example so they cannot rot.
+
+Examples are part of the public surface; each must run to completion with
+a zero exit status and produce its expected headline output.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", ["attached VMM", "detached VMM", "total mode switches: 2"]),
+    ("online_maintenance.py", ["maintenance window", "app-visible pause",
+                               "native (full speed)"]),
+    ("dependable_node.py", ["checkpoint/restart", "self-healing",
+                            "live update", "healed=True"]),
+    ("hpc_cluster.py", ["self-virtualization", "nothing lost"]),
+    ("hardware_assisted.py", ["software switch", "VT-x VMCS + EPT",
+                              "VM entries"]),
+]
+
+
+@pytest.mark.parametrize("script,expected",
+                         CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script, expected):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True, text=True, timeout=300)
+    assert result.returncode == 0, result.stderr[-2000:]
+    for fragment in expected:
+        assert fragment in result.stdout, \
+            f"{script}: missing {fragment!r} in output"
+
+
+def test_reproduce_paper_quick_runs():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "reproduce_paper.py"), "--quick"],
+        capture_output=True, text=True, timeout=600)
+    assert result.returncode == 0, result.stderr[-2000:]
+    for fragment in ("Table 1", "Table 2", "Fig. 3", "Fig. 4",
+                     "Mode switch time"):
+        assert fragment in result.stdout

@@ -1,0 +1,97 @@
+"""Metrics collector, report formatting, and the CLI entry point."""
+
+import pytest
+
+from repro import Machine, Mercury, small_config
+from repro.metrics import MetricsCollector, MetricsSnapshot, format_report
+
+
+@pytest.fixture
+def collector(mercury):
+    return MetricsCollector(mercury.machine, kernel=mercury.kernel,
+                            mercury=mercury)
+
+
+def test_snapshot_diff(collector, mercury):
+    k = mercury.kernel
+    cpu = mercury.machine.boot_cpu
+    before = collector.snapshot()
+    pid = k.syscall(cpu, "fork")
+    k.run_and_reap(cpu, k.procs.get(pid))
+    delta = collector.snapshot() - before
+    assert delta.forks == 1
+    assert delta.syscalls == 3   # fork, exit, wait
+    assert delta.cycles > 0
+    assert delta.hypercalls == 0  # native mode
+
+
+def test_measure_wrapper(collector, mercury):
+    k = mercury.kernel
+    cpu = mercury.machine.boot_cpu
+    result, delta = collector.measure(k.syscall, cpu, "getpid")
+    assert result == k.scheduler.current.pid
+    assert delta.syscalls == 1
+
+
+def test_virtual_mode_shows_hypercalls(collector, mercury):
+    k = mercury.kernel
+    cpu = mercury.machine.boot_cpu
+    mercury.attach()
+    before = collector.snapshot()
+    pid = k.syscall(cpu, "fork")
+    k.run_and_reap(cpu, k.procs.get(pid))
+    delta = collector.snapshot() - before
+    assert delta.hypercalls > 0
+    assert delta.page_validations > 0
+    mercury.detach()
+
+
+def test_mode_switches_counted(collector, mercury):
+    before = collector.snapshot()
+    mercury.attach()
+    mercury.detach()
+    delta = collector.snapshot() - before
+    assert delta.mode_switches == 2
+
+
+def test_rates():
+    s = MetricsSnapshot(tlb_hits=90, tlb_misses=10,
+                        cache_hits=3, cache_misses=1)
+    assert s.tlb_hit_rate == pytest.approx(0.9)
+    assert s.cache_hit_rate == pytest.approx(0.75)
+    assert MetricsSnapshot().tlb_hit_rate == 0.0
+
+
+def test_format_report_mentions_activity(collector, mercury):
+    k = mercury.kernel
+    cpu = mercury.machine.boot_cpu
+    _, delta = collector.measure(
+        lambda: (k.syscall(cpu, "fork"),
+                 k.run_and_reap(cpu, k.procs.get(
+                     max(k.procs.tasks)))))
+    text = format_report(delta, "run")
+    assert "forks" in text
+    assert "syscalls" in text
+    assert "µs" in text
+
+
+def test_cli_switch_target(capsys):
+    from repro.__main__ import main
+    assert main(["switch", "--mem-kb", "16384"]) == 0
+    out = capsys.readouterr().out
+    assert "native -> virtual" in out
+    assert "virtual -> native" in out
+
+
+def test_cli_quick_table(capsys):
+    from repro.__main__ import main
+    assert main(["table1", "--quick", "--mem-kb", "65536"]) == 0
+    out = capsys.readouterr().out
+    assert "Fork Process" in out
+    assert "X-0" in out and "M-V" not in out  # quick: two columns
+
+
+def test_cli_rejects_unknown_target():
+    from repro.__main__ import main
+    with pytest.raises(SystemExit):
+        main(["table9"])

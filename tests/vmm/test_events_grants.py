@@ -1,0 +1,159 @@
+"""Event channels and grant tables."""
+
+import pytest
+
+from repro.errors import GrantError, VMMError
+from repro.vmm.events import EventChannels
+from repro.vmm.grants import GrantTable
+
+
+# ---------------------------------------------------------------------------
+# event channels
+# ---------------------------------------------------------------------------
+
+def test_alloc_and_connect(cpu):
+    ev = EventChannels()
+    a = ev.alloc(0)
+    b = ev.alloc(1)
+    ev.connect(a, b)
+    assert a.peer_domain == 1 and b.peer_domain == 0
+
+
+def test_send_fires_peer_handler(cpu):
+    ev = EventChannels()
+    fired = []
+    a = ev.alloc(0)
+    b = ev.alloc(1, handler=lambda: fired.append("b"))
+    ev.connect(a, b)
+    ev.send(cpu, a)
+    assert fired == ["b"]
+    assert b.fires == 1
+    assert not b.pending
+
+
+def test_send_charges_event_cost(cpu):
+    ev = EventChannels()
+    a, b = ev.alloc(0), ev.alloc(1, handler=lambda: None)
+    ev.connect(a, b)
+    t0 = cpu.rdtsc()
+    ev.send(cpu, a)
+    assert cpu.rdtsc() - t0 == cpu.cost.cyc_event_channel
+
+
+def test_masked_channel_stays_pending(cpu):
+    ev = EventChannels()
+    fired = []
+    a = ev.alloc(0)
+    b = ev.alloc(1, handler=lambda: fired.append("b"))
+    ev.connect(a, b)
+    ev.mask(b)
+    ev.send(cpu, a)
+    assert fired == [] and b.pending
+    ev.unmask(cpu, b)
+    assert fired == ["b"] and not b.pending
+
+
+def test_send_unconnected_rejected(cpu):
+    ev = EventChannels()
+    a = ev.alloc(0)
+    with pytest.raises(VMMError):
+        ev.send(cpu, a)
+
+
+def test_lookup_unknown_rejected():
+    ev = EventChannels()
+    with pytest.raises(VMMError):
+        ev.lookup(5, 1)
+
+
+def test_close_domain_disconnects_peers(cpu):
+    ev = EventChannels()
+    a, b = ev.alloc(0), ev.alloc(1, handler=lambda: None)
+    ev.connect(a, b)
+    ev.close_domain(1)
+    assert a.peer_domain is None
+    with pytest.raises(VMMError):
+        ev.lookup(1, b.port)
+
+
+def test_ports_are_per_domain():
+    ev = EventChannels()
+    a1 = ev.alloc(0)
+    a2 = ev.alloc(0)
+    b1 = ev.alloc(1)
+    assert (a1.port, a2.port) == (1, 2)
+    assert b1.port == 1
+
+
+# ---------------------------------------------------------------------------
+# grants
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def granted(machine):
+    gt = GrantTable(machine.memory)
+    frame = machine.memory.alloc(0)
+    entry = gt.grant(0, frame, peer_domain=1)
+    return machine.boot_cpu, gt, frame, entry
+
+
+def test_grant_requires_ownership(machine):
+    gt = GrantTable(machine.memory)
+    frame = machine.memory.alloc(7)
+    with pytest.raises(GrantError):
+        gt.grant(0, frame, peer_domain=1)
+
+
+def test_map_unmap_roundtrip(granted):
+    cpu, gt, frame, entry = granted
+    mapped = gt.map(cpu, 1, 0, entry.ref)
+    assert mapped.frame == frame
+    assert mapped.active_maps == 1
+    gt.unmap(cpu, 0, entry.ref)
+    assert entry.active_maps == 0
+
+
+def test_map_charges_cost(granted):
+    cpu, gt, frame, entry = granted
+    t0 = cpu.rdtsc()
+    gt.map(cpu, 1, 0, entry.ref)
+    assert cpu.rdtsc() - t0 == cpu.cost.cyc_grant_map
+
+
+def test_map_by_wrong_peer_rejected(granted):
+    cpu, gt, frame, entry = granted
+    with pytest.raises(GrantError):
+        gt.map(cpu, 2, 0, entry.ref)
+
+
+def test_unmap_without_map_rejected(granted):
+    cpu, gt, frame, entry = granted
+    with pytest.raises(GrantError):
+        gt.unmap(cpu, 0, entry.ref)
+
+
+def test_revoke_blocks_new_maps(granted):
+    cpu, gt, frame, entry = granted
+    gt.revoke(0, entry.ref)
+    with pytest.raises(GrantError):
+        gt.map(cpu, 1, 0, entry.ref)
+
+
+def test_revoke_refused_while_mapped(granted):
+    cpu, gt, frame, entry = granted
+    gt.map(cpu, 1, 0, entry.ref)
+    with pytest.raises(GrantError):
+        gt.revoke(0, entry.ref)
+
+
+def test_unknown_ref_rejected(granted):
+    cpu, gt, frame, entry = granted
+    with pytest.raises(GrantError):
+        gt.map(cpu, 1, 0, 999)
+
+
+def test_active_grants_of(granted):
+    cpu, gt, frame, entry = granted
+    assert len(gt.active_grants_of(0)) == 1
+    gt.revoke(0, entry.ref)
+    assert gt.active_grants_of(0) == []

@@ -1,0 +1,163 @@
+"""The hypercall table: mmu_update, pinning, traps, events, scheduling."""
+
+import pytest
+
+from repro.errors import HypercallError, PageValidationError
+from repro.hw.paging import AddressSpace, Pte
+from repro.vmm.page_info import PageType
+
+
+@pytest.fixture
+def env(machine, warm_vmm):
+    dom = warm_vmm.create_domain("d", domain_id=0, is_driver_domain=True)
+    warm_vmm.activate()
+    aspace = AddressSpace(machine.memory, owner=0)
+    dom.register_aspace(aspace)
+    return machine.boot_cpu, machine, warm_vmm, dom, aspace
+
+
+def test_mmu_update_installs_and_clears(env):
+    cpu, machine, vmm, dom, aspace = env
+    frame = machine.memory.alloc(0)
+    n = vmm.hypercall(cpu, dom, "mmu_update",
+                      [(aspace, 0x4000, Pte(frame=frame))])
+    assert n == 1
+    assert aspace.get_pte(0x4000).frame == frame
+    vmm.hypercall(cpu, dom, "mmu_update", [(aspace, 0x4000, None)])
+    assert aspace.get_pte(0x4000) is None
+    assert vmm.page_info.type[frame] == PageType.NONE
+
+
+def test_mmu_update_unregistered_aspace_rejected(env):
+    cpu, machine, vmm, dom, aspace = env
+    rogue = AddressSpace(machine.memory, owner=0)
+    frame = machine.memory.alloc(0)
+    with pytest.raises(HypercallError):
+        vmm.hypercall(cpu, dom, "mmu_update",
+                      [(rogue, 0x4000, Pte(frame=frame))])
+
+
+def test_mmu_update_foreign_frame_rejected(env):
+    cpu, machine, vmm, dom, aspace = env
+    foreign = machine.memory.alloc(31)
+    with pytest.raises(PageValidationError):
+        vmm.hypercall(cpu, dom, "mmu_update",
+                      [(aspace, 0x4000, Pte(frame=foreign))])
+
+
+def test_update_va_mapping_costs_more_than_batched(env):
+    cpu, machine, vmm, dom, aspace = env
+    frames = [machine.memory.alloc(0) for _ in range(8)]
+    t0 = cpu.rdtsc()
+    for i, f in enumerate(frames[:4]):
+        vmm.hypercall(cpu, dom, "update_va_mapping", aspace,
+                      0x10000 + i * 4096, Pte(frame=f))
+    single = cpu.rdtsc() - t0
+    t0 = cpu.rdtsc()
+    vmm.hypercall(cpu, dom, "mmu_update",
+                  [(aspace, 0x20000 + i * 4096, Pte(frame=f))
+                   for i, f in enumerate(frames[4:])])
+    batched = cpu.rdtsc() - t0
+    assert batched < single
+
+
+def test_pin_unpin_table(env):
+    cpu, machine, vmm, dom, aspace = env
+    frame = machine.memory.alloc(0)
+    aspace.set_pte(0x1000, Pte(frame=frame))
+    vmm.hypercall(cpu, dom, "mmuext_op", "pin_table", aspace)
+    assert aspace.pgd_frame in vmm.page_info.pinned
+    vmm.hypercall(cpu, dom, "mmuext_op", "unpin_table", aspace)
+    assert aspace.pgd_frame not in vmm.page_info.pinned
+
+
+def test_new_baseptr_requires_pin(env):
+    cpu, machine, vmm, dom, aspace = env
+    with pytest.raises(HypercallError):
+        vmm.hypercall(cpu, dom, "mmuext_op", "new_baseptr", aspace)
+    vmm.hypercall(cpu, dom, "mmuext_op", "pin_table", aspace)
+    vmm.hypercall(cpu, dom, "mmuext_op", "new_baseptr", aspace)
+    assert cpu.cr3 == aspace.pgd_frame
+
+
+def test_tlb_ops(env):
+    cpu, machine, vmm, dom, aspace = env
+    cpu.tlb.fill(5, 50, True)
+    vmm.hypercall(cpu, dom, "mmuext_op", "invlpg_local", None, 5 * 4096)
+    assert 5 not in cpu.tlb
+    cpu.tlb.fill(6, 60, True)
+    vmm.hypercall(cpu, dom, "mmuext_op", "tlb_flush_local")
+    assert len(cpu.tlb) == 0
+
+
+def test_unknown_mmuext_rejected(env):
+    cpu, machine, vmm, dom, aspace = env
+    with pytest.raises(HypercallError):
+        vmm.hypercall(cpu, dom, "mmuext_op", "frobnicate")
+
+
+def test_set_trap_table_refreshes_active_idt(env):
+    cpu, machine, vmm, dom, aspace = env
+    got = []
+    vmm.hypercall(cpu, dom, "set_trap_table",
+                  {0x33: lambda c, v: got.append(v)})
+    machine.intc.raise_vector(0, 0x33)
+    machine.poll()
+    assert got == [0x33]
+
+
+def test_set_gdt_refuses_pl0(env):
+    cpu, machine, vmm, dom, aspace = env
+    with pytest.raises(HypercallError):
+        vmm.hypercall(cpu, dom, "set_gdt", 0)
+
+
+def test_set_gdt_applies_dpl(env):
+    cpu, machine, vmm, dom, aspace = env
+    from repro.hw.cpu import SegmentDescriptor
+    cpu.gdt = {1: SegmentDescriptor("kernel_cs", 0)}
+    vmm.hypercall(cpu, dom, "set_gdt", 1)
+    assert cpu.gdt[1].dpl == 1
+
+
+def test_vm_assist_toggles(env):
+    cpu, machine, vmm, dom, aspace = env
+    vmm.hypercall(cpu, dom, "vm_assist", "writable_pagetables", True)
+    assert "writable_pagetables" in dom.assists
+    vmm.hypercall(cpu, dom, "vm_assist", "writable_pagetables", False)
+    assert "writable_pagetables" not in dom.assists
+
+
+def test_event_channel_op_send_foreign_rejected(env):
+    cpu, machine, vmm, dom, aspace = env
+    other = vmm.create_domain("other")
+    ch = vmm.hypercall(cpu, other, "event_channel_op", "alloc")
+    with pytest.raises(HypercallError):
+        vmm.hypercall(cpu, dom, "event_channel_op", "send", ch)
+
+
+def test_grant_table_op_roundtrip(env):
+    cpu, machine, vmm, dom, aspace = env
+    other = vmm.create_domain("other")
+    frame = machine.memory.alloc(0)
+    grant = vmm.hypercall(cpu, dom, "grant_table_op", "grant",
+                          frame, other.domain_id, False)
+    mapped = vmm.hypercall(cpu, other, "grant_table_op", "map",
+                           dom.domain_id, grant.ref)
+    assert mapped.frame == frame
+    vmm.hypercall(cpu, other, "grant_table_op", "unmap",
+                  dom.domain_id, grant.ref)
+
+
+def test_sched_op_yield_and_block(env):
+    cpu, machine, vmm, dom, aspace = env
+    nxt = vmm.hypercall(cpu, dom, "sched_op", "yield")
+    assert nxt is not None
+    vmm.hypercall(cpu, dom, "sched_op", "block")
+    assert not dom.vcpus[0].runnable
+
+
+def test_stack_switch_records_sp(env):
+    cpu, machine, vmm, dom, aspace = env
+    vmm.hypercall(cpu, dom, "stack_switch", 0xdeadbeef)
+    assert dom.vcpus[0].kernel_sp == 0xdeadbeef

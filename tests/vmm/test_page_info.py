@@ -1,0 +1,162 @@
+"""Page type/count tracking: validation, pinning, isolation, recompute."""
+
+import pytest
+
+from repro.errors import PageValidationError
+from repro.hw.memory import PhysicalMemory
+from repro.hw.paging import AddressSpace, Pte
+from repro.vmm.page_info import PageInfoTable, PageType
+
+
+@pytest.fixture
+def env(machine):
+    mem = machine.memory
+    table = PageInfoTable(mem)
+    aspace = AddressSpace(mem, owner=0)
+    return machine.boot_cpu, mem, table, aspace
+
+
+def test_validate_pgd_types_pages(env):
+    cpu, mem, table, aspace = env
+    data = mem.alloc(0)
+    aspace.set_pte(0x1000, Pte(frame=data))
+    table.validate_pgd(cpu, aspace, domain_id=0)
+    assert table.type[aspace.pgd_frame] == PageType.L2_PAGETABLE
+    leaf = aspace.leaf_for(0x1000)
+    assert table.type[leaf.frame] == PageType.L1_PAGETABLE
+    assert table.type[data] == PageType.WRITABLE
+    assert table.type_count[data] == 1
+    assert aspace.pgd_frame in table.pinned
+
+
+def test_validation_rejects_foreign_frames(env):
+    """A domain can never get a mapping of another domain's frame
+    validated — the isolation invariant."""
+    cpu, mem, table, aspace = env
+    foreign = mem.alloc(99)  # owned by someone else
+    aspace.set_pte(0x1000, Pte(frame=foreign))
+    with pytest.raises(PageValidationError):
+        table.validate_pgd(cpu, aspace, domain_id=0)
+
+
+def test_validation_rejects_writable_mapping_of_pt_page(env):
+    cpu, mem, table, aspace = env
+    data = mem.alloc(0)
+    aspace.set_pte(0x1000, Pte(frame=data))
+    table.validate_pgd(cpu, aspace, domain_id=0)
+    leaf_frame = aspace.leaf_for(0x1000).frame
+    # second address space tries to map the first one's leaf writable
+    evil = AddressSpace(mem, owner=0)
+    evil.set_pte(0x2000, Pte(frame=leaf_frame, writable=True))
+    with pytest.raises(PageValidationError):
+        table.validate_pgd(cpu, evil, domain_id=0)
+
+
+def test_readonly_mapping_of_pt_page_is_fine(env):
+    cpu, mem, table, aspace = env
+    data = mem.alloc(0)
+    aspace.set_pte(0x1000, Pte(frame=data))
+    table.validate_pgd(cpu, aspace, domain_id=0)
+    leaf_frame = aspace.leaf_for(0x1000).frame
+    reader = AddressSpace(mem, owner=0)
+    reader.set_pte(0x2000, Pte(frame=leaf_frame, writable=False))
+    table.validate_pgd(cpu, reader, domain_id=0)  # no exception
+
+
+def test_pte_write_validation(env):
+    cpu, mem, table, aspace = env
+    data = mem.alloc(0)
+    aspace.set_pte(0x1000, Pte(frame=data))
+    table.validate_pgd(cpu, aspace, domain_id=0)
+    new_frame = mem.alloc(0)
+    table.validate_pte_write(cpu, Pte(frame=new_frame), domain_id=0)
+    assert table.type[new_frame] == PageType.WRITABLE
+    foreign = mem.alloc(42)
+    with pytest.raises(PageValidationError):
+        table.validate_pte_write(cpu, Pte(frame=foreign), domain_id=0)
+
+
+def test_pte_write_cannot_alias_pt_page(env):
+    cpu, mem, table, aspace = env
+    data = mem.alloc(0)
+    aspace.set_pte(0x1000, Pte(frame=data))
+    table.validate_pgd(cpu, aspace, domain_id=0)
+    leaf_frame = aspace.leaf_for(0x1000).frame
+    with pytest.raises(PageValidationError):
+        table.validate_pte_write(cpu, Pte(frame=leaf_frame, writable=True),
+                                 domain_id=0)
+
+
+def test_unpin_clears_types(env):
+    cpu, mem, table, aspace = env
+    data = mem.alloc(0)
+    aspace.set_pte(0x1000, Pte(frame=data))
+    table.validate_pgd(cpu, aspace, domain_id=0)
+    table.unpin_aspace(cpu, aspace)
+    assert table.type[aspace.pgd_frame] == PageType.NONE
+    assert table.type[data] == PageType.NONE
+    assert aspace.pgd_frame not in table.pinned
+
+
+def test_account_pte_clear_releases_type(env):
+    cpu, mem, table, aspace = env
+    frame = mem.alloc(0)
+    pte = Pte(frame=frame)
+    table.validate_pte_write(cpu, pte, domain_id=0)
+    table.account_pte_clear(cpu, pte)
+    assert table.type[frame] == PageType.NONE
+    assert table.type_count[frame] == 0
+
+
+def test_shared_frame_counts(env):
+    cpu, mem, table, aspace = env
+    frame = mem.alloc(0)
+    a = Pte(frame=frame)
+    b = Pte(frame=frame)
+    table.validate_pte_write(cpu, a, domain_id=0)
+    table.validate_pte_write(cpu, b, domain_id=0)
+    assert table.type_count[frame] == 2
+    table.account_pte_clear(cpu, a)
+    assert table.type[frame] == PageType.WRITABLE  # still mapped once
+    table.account_pte_clear(cpu, b)
+    assert table.type[frame] == PageType.NONE
+
+
+def test_recompute_resets_then_rebuilds(env):
+    cpu, mem, table, aspace = env
+    data = mem.alloc(0)
+    aspace.set_pte(0x1000, Pte(frame=data))
+    stale = mem.alloc(0)
+    table.type[stale] = PageType.L1_PAGETABLE  # garbage from a prior epoch
+    scanned = table.recompute(cpu, [aspace], domain_id=0)
+    assert scanned == aspace.num_pt_pages()
+    assert table.type[stale] == PageType.NONE
+    assert table.type[data] == PageType.WRITABLE
+
+
+def test_recompute_charges_full_width_scans(env):
+    """Cost accounting: recompute must charge per PT slot, which is what
+    dominates the native->virtual switch (§7.4)."""
+    cpu, mem, table, aspace = env
+    data = mem.alloc(0)
+    aspace.set_pte(0x1000, Pte(frame=data))
+    t0 = cpu.rdtsc()
+    table.recompute(cpu, [aspace], domain_id=0)
+    cost = cpu.rdtsc() - t0
+    from repro.params import PT_ENTRIES
+    assert cost >= 2 * PT_ENTRIES * cpu.cost.cyc_pte_validate  # pgd + leaf
+
+
+def test_retype_in_use_rejected(env):
+    cpu, mem, table, aspace = env
+    frame = mem.alloc(0)
+    table._set_type(frame, PageType.L1_PAGETABLE)
+    with pytest.raises(PageValidationError):
+        table._set_type(frame, PageType.L2_PAGETABLE)
+
+
+def test_is_pt_frame(env):
+    cpu, mem, table, aspace = env
+    table.track_new_pt_page(aspace.pgd_frame, level=2)
+    assert table.is_pt_frame(aspace.pgd_frame)
+    assert not table.is_pt_frame(mem.alloc(0))

@@ -1,0 +1,122 @@
+"""I/O rings: the producer/consumer protocol and its invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import RingError
+from repro.vmm.rings import IoRing
+
+
+def test_size_must_be_power_of_two():
+    with pytest.raises(RingError):
+        IoRing(size=12)
+    with pytest.raises(RingError):
+        IoRing(size=0)
+
+
+def test_request_roundtrip():
+    ring = IoRing(size=4)
+    ring.push_request("r1")
+    assert ring.has_requests()
+    assert ring.pop_request() == "r1"
+    ring.push_response("ok1")
+    assert ring.has_responses()
+    assert ring.pop_response() == "ok1"
+
+
+def test_fifo_order():
+    ring = IoRing(size=8)
+    for i in range(5):
+        ring.push_request(i)
+    assert [ring.pop_request() for _ in range(5)] == list(range(5))
+
+
+def test_request_overrun_rejected():
+    ring = IoRing(size=2)
+    ring.push_request("a")
+    ring.push_request("b")
+    with pytest.raises(RingError):
+        ring.push_request("c")
+
+
+def test_slots_freed_by_consuming_responses():
+    ring = IoRing(size=2)
+    ring.push_request("a")
+    ring.push_request("b")
+    ring.pop_request()
+    # in-flight work still occupies the slot until the response is consumed
+    with pytest.raises(RingError):
+        ring.push_request("c")
+    ring.push_response("a-done")
+    ring.pop_response()
+    ring.push_request("c")  # now there is room
+
+
+def test_pop_empty_request_rejected():
+    with pytest.raises(RingError):
+        IoRing(size=2).pop_request()
+
+
+def test_pop_empty_response_rejected():
+    with pytest.raises(RingError):
+        IoRing(size=2).pop_response()
+
+
+def test_response_without_consumed_request_rejected():
+    ring = IoRing(size=2)
+    ring.push_request("a")
+    with pytest.raises(RingError):
+        ring.push_response("phantom")
+
+
+def test_wraparound_preserves_order():
+    ring = IoRing(size=4)
+    for round_no in range(5):  # 20 items through a 4-slot ring
+        for i in range(4):
+            ring.push_request((round_no, i))
+        for i in range(4):
+            assert ring.pop_request() == (round_no, i)
+            ring.push_response((round_no, i, "ok"))
+        for i in range(4):
+            assert ring.pop_response() == (round_no, i, "ok")
+    ring.check_invariants()
+
+
+def test_free_request_slots():
+    ring = IoRing(size=4)
+    assert ring.free_request_slots() == 4
+    ring.push_request("a")
+    assert ring.free_request_slots() == 3
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.sampled_from(["req", "take", "resp", "ack"]), max_size=120))
+def test_property_protocol_invariants_hold(ops):
+    """Any legal interleaving keeps index ordering and never corrupts
+    FIFO data; illegal steps always raise rather than corrupt."""
+    ring = IoRing(size=4)
+    sent, taken, answered, acked = [], [], [], []
+    seq = 0
+    for op in ops:
+        try:
+            if op == "req":
+                ring.push_request(seq)
+                sent.append(seq)
+                seq += 1
+            elif op == "take":
+                taken.append(ring.pop_request())
+            elif op == "resp":
+                if taken and len(answered) < len(taken):
+                    item = taken[len(answered)]
+                    ring.push_response(item)
+                    answered.append(item)
+                else:
+                    with pytest.raises(RingError):
+                        ring.push_response(None)
+            elif op == "ack":
+                acked.append(ring.pop_response())
+        except RingError:
+            pass
+        ring.check_invariants()
+    assert taken == sent[:len(taken)]
+    assert acked == answered[:len(acked)]

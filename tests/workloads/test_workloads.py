@@ -1,0 +1,147 @@
+"""Workload sanity: each suite runs, reports sane units, and responds to
+its parameters."""
+
+import pytest
+
+from repro import Machine, small_config
+from repro.bench.configs import BareMetalVO
+from repro.guestos.kernel import Kernel
+from repro.workloads.dbench import run_dbench
+from repro.workloads.iperf import run_iperf, run_ping
+from repro.workloads.kbuild import run_kbuild
+from repro.workloads.lmbench import (LmbenchResults, bench_ctx, bench_fork,
+                                     bench_mmap, bench_page_fault,
+                                     bench_prot_fault, run_lmbench)
+from repro.workloads.osdb import run_osdb_ir
+
+
+@pytest.fixture
+def native():
+    m = Machine(small_config(mem_kb=131072))
+    k = Kernel(m, BareMetalVO(m), name="wl-native")
+    k.boot(image_pages=64)
+    return k, m.boot_cpu
+
+
+def test_lmbench_full_suite_rows(native):
+    k, cpu = native
+    results = run_lmbench(k, cpu)
+    assert set(results.rows) == set(LmbenchResults.ROW_ORDER)
+    assert all(v > 0 for v in results.rows.values())
+    ordered = results.ordered()
+    assert [name for name, _ in ordered] == list(LmbenchResults.ROW_ORDER)
+
+
+def test_lmbench_fork_deterministic(native):
+    k, cpu = native
+    a = bench_fork(k, cpu, iters=2)
+    b = bench_fork(k, cpu, iters=2)
+    assert a == pytest.approx(b, rel=0.05)  # steady state, no randomness
+
+
+def test_lmbench_ctx_grows_with_working_set(native):
+    k, cpu = native
+    c0 = bench_ctx(k, cpu, 2, 0, rounds=2)
+    c16 = bench_ctx(k, cpu, 2, 16, rounds=2)
+    c64 = bench_ctx(k, cpu, 2, 64, rounds=2)
+    assert c0 < c16 < c64
+
+
+def test_lmbench_mmap_scales_with_size(native):
+    k, cpu = native
+    small = bench_mmap(k, cpu, size_mb=2, iters=1)
+    large = bench_mmap(k, cpu, size_mb=8, iters=1)
+    assert large > 2 * small
+
+
+def test_lmbench_fault_benchmarks_leave_no_residue(native):
+    k, cpu = native
+    task = k.scheduler.current
+    vmas_before = len(task.vmas)
+    bench_prot_fault(k, cpu, iters=8)
+    bench_page_fault(k, cpu, iters=8)
+    assert len(task.vmas) == vmas_before
+
+
+def test_osdb_reports_throughput(native):
+    k, cpu = native
+    r = run_osdb_ir(k, cpu, rows=512, queries=30)
+    assert r.queries == 30
+    assert r.queries_per_second > 0
+    assert r.cache_hits > 0
+
+
+def test_osdb_deterministic(native):
+    k, cpu = native
+    a = run_osdb_ir(k, cpu, rows=256, queries=20, seed=5)
+    m2 = Machine(small_config(mem_kb=131072))
+    k2 = Kernel(m2, BareMetalVO(m2), name="wl2")
+    k2.boot(image_pages=64)
+    b = run_osdb_ir(k2, m2.boot_cpu, rows=256, queries=20, seed=5)
+    assert a.elapsed_us == pytest.approx(b.elapsed_us, rel=1e-6)
+
+
+def test_dbench_reports_throughput(native):
+    k, cpu = native
+    r = run_dbench(k, cpu, clients=2, files_per_client=3)
+    assert r.throughput_mb_s > 0
+    assert r.bytes_moved > 0
+    assert r.ops > 0
+
+
+def test_dbench_more_clients_more_bytes(native):
+    k, cpu = native
+    r1 = run_dbench(k, cpu, clients=1, files_per_client=2)
+    r2 = run_dbench(k, cpu, clients=3, files_per_client=2)
+    assert r2.bytes_moved == 3 * r1.bytes_moved
+
+
+def test_kbuild_compiles_and_links(native):
+    k, cpu = native
+    r = run_kbuild(k, cpu, files=8, link_every=4)
+    assert r.files_compiled == 8
+    assert r.links == 2
+    assert r.elapsed_s > 0
+    # objects exist in the guest FS
+    assert k.fs.exists("/obj/file0.o")
+    assert k.fs.exists("/obj/built-in-2.a")
+
+
+def test_kbuild_time_scales_with_files(native):
+    k, cpu = native
+    t4 = run_kbuild(k, cpu, files=4).elapsed_us
+    t8 = run_kbuild(k, cpu, files=8).elapsed_us
+    assert t8 > 1.5 * t4
+
+
+def _net_pair():
+    a = Machine(small_config())
+    b = Machine(small_config(), clock=a.clock)
+    a.link_to(b)
+    ka = Kernel(a, BareMetalVO(a), name="send")
+    kb = Kernel(b, BareMetalVO(b), name="recv")
+    ka.boot(image_pages=8)
+    kb.boot(image_pages=8)
+    return ka, kb
+
+
+def test_iperf_udp_near_wire_rate_native():
+    ka, kb = _net_pair()
+    r = run_iperf(ka, kb, proto="udp", total_bytes=512 * 1024)
+    assert r.bytes_sent == 512 * 1024
+    # a native sender on a gigabit-class link: hundreds of Mbit/s
+    assert 300 < r.mbit_s < 1100
+
+
+def test_iperf_tcp_below_udp():
+    ka, kb = _net_pair()
+    udp = run_iperf(ka, kb, proto="udp", total_bytes=256 * 1024)
+    tcp = run_iperf(ka, kb, proto="tcp", total_bytes=256 * 1024)
+    assert tcp.mbit_s <= udp.mbit_s  # ACK window stalls cost something
+
+
+def test_ping_mean_of_counts():
+    ka, kb = _net_pair()
+    rtt = run_ping(ka, kb, count=4)
+    assert rtt > 0
+    assert kb.net.icmp_replies == 4
