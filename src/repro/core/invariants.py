@@ -152,6 +152,16 @@ def check_tlb_coherence(mercury: "Mercury") -> list[str]:
     return out
 
 
+def check_lazy_mmu(mercury: "Mercury") -> list[str]:
+    """At rest no lazy-MMU updates may be queued: a pending queue means
+    page tables the hardware could walk disagree with what the kernel
+    believes it wrote (and a mode switch must never commit over one)."""
+    pending = mercury.kernel.vo.lazy_mmu_pending()
+    if pending:
+        return [f"{pending} lazy-MMU updates queued at rest"]
+    return []
+
+
 def check_filesystem(mercury: "Mercury") -> list[str]:
     from repro.guestos.fs import BLOCK_SIZE
     out = []
@@ -167,7 +177,7 @@ def check_filesystem(mercury: "Mercury") -> list[str]:
 ALL_CHECKS = (check_mode_coherence, check_vo_quiescent,
               check_frame_ownership, check_frame_refcounts,
               check_scheduler, check_pinning, check_tlb_coherence,
-              check_filesystem)
+              check_lazy_mmu, check_filesystem)
 
 
 def check_all(mercury: "Mercury") -> list[str]:

@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.core.vobject import VirtualizationObject, sensitive
 from repro.hw.cpu import PrivilegeLevel
+from repro.params import PAGE_SIZE
 
 if TYPE_CHECKING:
     from repro.core.accounting import ActiveAccountant
@@ -24,7 +25,10 @@ if TYPE_CHECKING:
 
 
 class NativeVO(VirtualizationObject):
-    """VO implementation for an OS running on bare hardware."""
+    """VO implementation for an OS running on bare hardware.
+
+    The lazy-MMU region markers inherit the base-class no-ops: native PTE
+    writes are plain stores, so there is nothing to batch."""
 
     mode_name = "native"
 
@@ -98,7 +102,7 @@ class NativeVO(VirtualizationObject):
     def clear_pte(self, cpu, aspace: "AddressSpace", vaddr: int) -> None:
         cpu.charge(cpu.cost.cyc_pte_write)
         old = aspace.clear_pte(vaddr)
-        cpu.tlb.invalidate(vaddr // 4096)
+        cpu.tlb.invalidate(vaddr // PAGE_SIZE)
         if self.accountant is not None and old is not None:
             self.accountant.on_clear_pte(cpu, aspace, vaddr, old)
 
@@ -115,7 +119,7 @@ class NativeVO(VirtualizationObject):
             pte.present = present
         if cow is not None:
             pte.cow = cow
-        cpu.tlb.invalidate(vaddr // 4096)
+        cpu.tlb.invalidate(vaddr // PAGE_SIZE)
         if self.accountant is not None:
             self.accountant.on_update_pte(cpu, aspace, vaddr, pte)
 
@@ -126,7 +130,7 @@ class NativeVO(VirtualizationObject):
             old = aspace.get_pte(vaddr) if self.accountant is not None else None
             if pte is None:
                 removed = aspace.clear_pte(vaddr)
-                cpu.tlb.invalidate(vaddr // 4096)
+                cpu.tlb.invalidate(vaddr // PAGE_SIZE)
                 if self.accountant is not None and removed is not None:
                     self.accountant.on_clear_pte(cpu, aspace, vaddr, removed)
             else:
@@ -154,7 +158,7 @@ class NativeVO(VirtualizationObject):
     @sensitive
     def invlpg(self, cpu, vaddr: int) -> None:
         cpu.charge(cpu.cost.cyc_privop_native)
-        cpu.tlb.invalidate(vaddr // 4096)
+        cpu.tlb.invalidate(vaddr // PAGE_SIZE)
 
     # -- sensitive I/O operations -------------------------------------------
 

@@ -39,18 +39,39 @@ class ShadowVirtualVO(VirtualVO):
 
     @sensitive
     def write_cr3(self, cpu, pgd_frame: int) -> None:
-        for aspace in self.domain.aspaces:
-            if aspace.pgd_frame == pgd_frame:
-                shadow = self.pager.shadow_of(aspace)
-                # the VMM installs the *shadow* root
-                cpu.charge(cpu.cost.cyc_emulate_privop)
-                saved, cpu.pl = cpu.pl, PrivilegeLevel.PL0
-                try:
-                    cpu.write_cr3(shadow.pgd_frame)
-                finally:
-                    cpu.pl = saved
-                return
-        raise HypercallError(f"CR3 load of unregistered PGD frame {pgd_frame}")
+        aspace = self.domain.aspace_by_pgd.get(pgd_frame)
+        if aspace is None:
+            raise HypercallError(
+                f"CR3 load of unregistered PGD frame {pgd_frame}")
+        shadow = self.pager.shadow_of(aspace)
+        # the VMM installs the *shadow* root
+        cpu.charge(cpu.cost.cyc_emulate_privop)
+        saved, cpu.pl = cpu.pl, PrivilegeLevel.PL0
+        try:
+            cpu.write_cr3(shadow.pgd_frame)
+        finally:
+            cpu.pl = saved
+
+    # -- lazy MMU: shadow mode cannot batch ------------------------------------
+    # Every guest page-table write traps individually and is re-translated
+    # into the shadow; there is no multicall to fold updates into, so the
+    # region markers degrade to no-ops (inherited VirtualVO queueing is
+    # bypassed because set/clear/update below never consult the queue).
+
+    def lazy_mmu_begin(self, cpu) -> None:
+        pass
+
+    def lazy_mmu_end(self, cpu) -> None:
+        pass
+
+    def lazy_mmu_flush(self, cpu) -> None:
+        pass
+
+    def lazy_mmu_drain(self, cpu) -> None:
+        pass
+
+    def lazy_mmu_pending(self) -> int:
+        return 0
 
     # -- MMU: direct guest writes + trapped shadow syncs -----------------------
 

@@ -169,6 +169,14 @@ class ModeSwitchEngine:
         # uninterruptible from here (the handler context already raised us
         # to PL0; we additionally mask)
         saved_if, cpu.interrupts_enabled = cpu.interrupts_enabled, False
+        # flush-before-commit: queued lazy-MMU updates are mode-dependent
+        # state (they assume hypercalls into the current VMM); drain them
+        # before the VO pointer swap and refuse to commit on a dirty queue
+        kernel.vo.lazy_mmu_drain(cpu)
+        if kernel.vo.lazy_mmu_pending():
+            cpu.interrupts_enabled = saved_if
+            raise ModeSwitchError(
+                "lazy-MMU queue not empty at mode-switch commit")
         pt_pages = 0
         try:
             if direction is Direction.TO_VIRTUAL:

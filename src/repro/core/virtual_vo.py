@@ -16,6 +16,13 @@ Two details matter for fidelity:
   construction.
 - **Syscalls pay a de-privileging tax** (§3.2.1): entry/exit bounce
   through the VMM's fast path and the segment fixups, charged here.
+- **Lazy-MMU batching.**  Xen-Linux 2.6.16 brackets bulk page-table work
+  (fork's COW sweep, exit's teardown, mmap/munmap) in a *lazy MMU mode*:
+  PTE updates are queued per CPU and issued as one multi-entry
+  ``mmu_update`` multicall, amortizing the hypercall trap.  The queue is
+  flushed at region end and — because stale tables are never allowed to be
+  *observed* — at every CR3 load, TLB flush, fault entry, pin/unpin, and
+  before a mode switch commits (the flush-before-commit invariant).
 """
 
 from __future__ import annotations
@@ -25,6 +32,7 @@ from typing import TYPE_CHECKING, Optional
 from repro.core.vobject import VirtualizationObject, sensitive
 from repro.errors import HypercallError
 from repro.hw.cpu import PrivilegeLevel
+from repro.params import PAGE_SIZE
 
 if TYPE_CHECKING:
     from repro.hw.devices import BlockRequest, Packet
@@ -33,6 +41,22 @@ if TYPE_CHECKING:
     from repro.hw.paging import AddressSpace, Pte
     from repro.vmm.domain import Domain
     from repro.vmm.hypervisor import Hypervisor
+
+
+class _LazyMmuState:
+    """One CPU's lazy-MMU queue: region nesting depth, the ordered update
+    queue, and a read-back index so in-region read-modify-write sees its
+    own queued writes."""
+
+    __slots__ = ("depth", "queue", "pending")
+
+    def __init__(self):
+        self.depth = 0
+        #: ordered ``(aspace, vaddr, Pte-or-None)`` updates, exactly the
+        #: shape ``mmu_update`` consumes
+        self.queue: list = []
+        #: ``(id(aspace), vaddr) -> latest queued Pte-or-None``
+        self.pending: dict = {}
 
 
 class VirtualVO(VirtualizationObject):
@@ -47,6 +71,8 @@ class VirtualVO(VirtualizationObject):
         self.vmm = vmm
         self.domain = domain
         self.data.kernel_segment_dpl = 1
+        #: per-CPU lazy-MMU queues, keyed by cpu_id
+        self._lazy: dict[int, _LazyMmuState] = {}
 
     # -- helpers -----------------------------------------------------------
 
@@ -56,18 +82,64 @@ class VirtualVO(VirtualizationObject):
     def _pinned(self, aspace: "AddressSpace") -> bool:
         return aspace.pgd.frame in self.vmm.page_info.pinned
 
+    # -- lazy-MMU batching --------------------------------------------------
+
+    def _lazy_state(self, cpu) -> _LazyMmuState:
+        st = self._lazy.get(cpu.cpu_id)
+        if st is None:
+            st = self._lazy[cpu.cpu_id] = _LazyMmuState()
+        return st
+
+    def lazy_mmu_begin(self, cpu) -> None:
+        self._lazy_state(cpu).depth += 1
+
+    def lazy_mmu_end(self, cpu) -> None:
+        st = self._lazy_state(cpu)
+        if st.depth == 0:
+            return  # region was retired by a mode-switch drain
+        st.depth -= 1
+        if st.depth == 0:
+            self._flush(cpu, st)
+
+    def lazy_mmu_flush(self, cpu) -> None:
+        self._flush(cpu, self._lazy_state(cpu))
+
+    def lazy_mmu_drain(self, cpu) -> None:
+        # the mode-switch commit path: every CPU's queue is issued by the
+        # control processor (secondaries are parked in the rendezvous) and
+        # open regions are retired — their lazy_mmu_end becomes a no-op
+        for st in self._lazy.values():
+            self._flush(cpu, st)
+            st.depth = 0
+
+    def lazy_mmu_pending(self) -> int:
+        return sum(len(st.queue) for st in self._lazy.values())
+
+    def _flush(self, cpu, st: _LazyMmuState) -> None:
+        if not st.queue:
+            return
+        queue, st.queue, st.pending = st.queue, [], {}
+        batch = cpu.cost.mmu_batch_size
+        for i in range(0, len(queue), batch):
+            self._hcall(cpu, "mmu_update", queue[i:i + batch])
+
+    def _queue_update(self, cpu, st: _LazyMmuState, aspace, vaddr: int,
+                      pte) -> None:
+        st.queue.append((aspace, vaddr, pte))
+        st.pending[(id(aspace), vaddr)] = pte
+
     # -- sensitive CPU operations -------------------------------------------
 
     @sensitive
     def write_cr3(self, cpu, pgd_frame: int) -> None:
-        # find the registered aspace backing this PGD
-        for aspace in self.domain.aspaces:
-            if aspace.pgd_frame == pgd_frame:
-                if not self._pinned(aspace):
-                    self._hcall(cpu, "mmuext_op", "pin_table", aspace)
-                self._hcall(cpu, "mmuext_op", "new_baseptr", aspace)
-                return
-        raise HypercallError(f"CR3 load of unregistered PGD frame {pgd_frame}")
+        self.lazy_mmu_flush(cpu)
+        aspace = self.domain.aspace_by_pgd.get(pgd_frame)
+        if aspace is None:
+            raise HypercallError(
+                f"CR3 load of unregistered PGD frame {pgd_frame}")
+        if not self._pinned(aspace):
+            self._hcall(cpu, "mmuext_op", "pin_table", aspace)
+        self._hcall(cpu, "mmuext_op", "new_baseptr", aspace)
 
     @sensitive
     def load_idt(self, cpu, idt: "Idt") -> None:
@@ -98,6 +170,7 @@ class VirtualVO(VirtualizationObject):
 
     @sensitive
     def stack_switch(self, cpu, to_task) -> None:
+        self.lazy_mmu_flush(cpu)
         # beyond the hypercall itself, a Xen guest context switch updates
         # descriptors and takes segment/FPU trap storms
         cpu.charge(cpu.cost.cyc_virt_ctx_extra)
@@ -117,6 +190,9 @@ class VirtualVO(VirtualizationObject):
 
     @sensitive
     def fault_entry(self, cpu) -> None:
+        # the fault handler will read page tables — queued updates must be
+        # visible before it runs
+        self.lazy_mmu_flush(cpu)
         # fault -> VMM -> reflected into the guest handler (the secondary
         # cache/iTLB damage is charged on the fixup paths in vmem)
         cpu.charge(cpu.cost.cyc_fault_hw + cpu.cost.cyc_trap_roundtrip)
@@ -127,7 +203,11 @@ class VirtualVO(VirtualizationObject):
     @sensitive
     def set_pte(self, cpu, aspace: "AddressSpace", vaddr: int, pte: "Pte") -> None:
         if self._pinned(aspace):
-            self._hcall(cpu, "update_va_mapping", aspace, vaddr, pte)
+            st = self._lazy_state(cpu)
+            if st.depth > 0:
+                self._queue_update(cpu, st, aspace, vaddr, pte)
+            else:
+                self._hcall(cpu, "update_va_mapping", aspace, vaddr, pte)
         else:
             # unpinned tables are plain memory: direct write, validated later
             cpu.charge(cpu.cost.cyc_pte_write)
@@ -136,7 +216,11 @@ class VirtualVO(VirtualizationObject):
     @sensitive
     def clear_pte(self, cpu, aspace: "AddressSpace", vaddr: int) -> None:
         if self._pinned(aspace):
-            self._hcall(cpu, "update_va_mapping", aspace, vaddr, None)
+            st = self._lazy_state(cpu)
+            if st.depth > 0:
+                self._queue_update(cpu, st, aspace, vaddr, None)
+            else:
+                self._hcall(cpu, "update_va_mapping", aspace, vaddr, None)
         else:
             cpu.charge(cpu.cost.cyc_pte_write)
             aspace.clear_pte(vaddr)
@@ -144,7 +228,14 @@ class VirtualVO(VirtualizationObject):
     @sensitive
     def update_pte_flags(self, cpu, aspace: "AddressSpace", vaddr: int, *,
                          writable=None, present=None, cow=None) -> None:
-        pte = aspace.get_pte(vaddr)
+        st = self._lazy_state(cpu)
+        in_region = st.depth > 0 and self._pinned(aspace)
+        if in_region:
+            # read-modify-write must see this region's own queued writes
+            key = (id(aspace), vaddr)
+            pte = st.pending[key] if key in st.pending else aspace.get_pte(vaddr)
+        else:
+            pte = aspace.get_pte(vaddr)
         if pte is None:
             return
         new = pte.clone()
@@ -154,12 +245,14 @@ class VirtualVO(VirtualizationObject):
             new.present = present
         if cow is not None:
             new.cow = cow
-        if self._pinned(aspace):
+        if in_region:
+            self._queue_update(cpu, st, aspace, vaddr, new)
+        elif self._pinned(aspace):
             self._hcall(cpu, "update_va_mapping", aspace, vaddr, new)
         else:
             cpu.charge(cpu.cost.cyc_pte_write)
             aspace.set_pte(vaddr, new)
-        cpu.tlb.invalidate(vaddr // 4096)
+        cpu.tlb.invalidate(vaddr // PAGE_SIZE)
 
     @sensitive
     def apply_pte_region(self, cpu, aspace: "AddressSpace", updates: list) -> None:
@@ -171,7 +264,12 @@ class VirtualVO(VirtualizationObject):
                 else:
                     aspace.set_pte(vaddr, pte)
             return
-        # pinned: batched mmu_update multicalls
+        st = self._lazy_state(cpu)
+        if st.depth > 0:
+            for vaddr, pte in updates:
+                self._queue_update(cpu, st, aspace, vaddr, pte)
+            return
+        # pinned, no region open: batched mmu_update multicalls
         batch = cpu.cost.mmu_batch_size
         for i in range(0, len(updates), batch):
             chunk = [(aspace, vaddr, pte)
@@ -180,11 +278,15 @@ class VirtualVO(VirtualizationObject):
 
     @sensitive
     def new_address_space(self, cpu, aspace: "AddressSpace") -> None:
+        self.lazy_mmu_flush(cpu)
         self.domain.register_aspace(aspace)
         self._hcall(cpu, "mmuext_op", "pin_table", aspace)
 
     @sensitive
     def destroy_address_space(self, cpu, aspace: "AddressSpace") -> None:
+        # flush before unpin: queued clears applied after _unaccount_leaf
+        # would double-count in the PageInfoTable
+        self.lazy_mmu_flush(cpu)
         if self._pinned(aspace):
             self._hcall(cpu, "mmuext_op", "unpin_table", aspace)
         self.domain.unregister_aspace(aspace)
@@ -192,10 +294,12 @@ class VirtualVO(VirtualizationObject):
 
     @sensitive
     def flush_tlb(self, cpu) -> None:
+        self.lazy_mmu_flush(cpu)
         self._hcall(cpu, "mmuext_op", "tlb_flush_local")
 
     @sensitive
     def invlpg(self, cpu, vaddr: int) -> None:
+        self.lazy_mmu_flush(cpu)
         self._hcall(cpu, "mmuext_op", "invlpg_local", None, vaddr)
 
     # -- sensitive I/O operations ---------------------------------------------

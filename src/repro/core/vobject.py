@@ -163,6 +163,34 @@ class VirtualizationObject:
         into batched ``mmu_update`` multicalls."""
         raise NotImplementedError
 
+    # -- lazy-MMU batching (Xen-Linux's lazy MMU mode) -------------------------
+
+    def lazy_mmu_begin(self, cpu: "Cpu") -> None:
+        """Open a lazy-MMU region: PTE updates issued until the matching
+        :meth:`lazy_mmu_end` *may* be queued and applied as one batched
+        ``mmu_update`` multicall.  Regions nest; only the outermost end
+        flushes.  Native mode applies updates directly, so this is a no-op
+        everywhere except the para-virtual direct-paging VO."""
+
+    def lazy_mmu_end(self, cpu: "Cpu") -> None:
+        """Close a lazy-MMU region, flushing any queued updates.  Calling
+        it with no region open is a no-op (this happens when a mode switch
+        drained and retired the region mid-flight)."""
+
+    def lazy_mmu_flush(self, cpu: "Cpu") -> None:
+        """Flush queued updates without closing the region.  Implicitly
+        invoked on every operation that needs current page tables: CR3
+        load, TLB flush/invlpg, fault entry, pin/unpin."""
+
+    def lazy_mmu_drain(self, cpu: "Cpu") -> None:
+        """Flush every CPU's queue and forcibly retire open regions.  The
+        mode-switch engine calls this before a commit: queued state must be
+        drained before the VO pointer swap (§4.3 consistency)."""
+
+    def lazy_mmu_pending(self) -> int:
+        """Number of queued-but-unapplied PTE updates across all CPUs."""
+        return 0
+
     def new_address_space(self, cpu: "Cpu", aspace: "AddressSpace") -> None:
         """Register a freshly-built address space (virtual mode: pin it)."""
         raise NotImplementedError

@@ -10,6 +10,7 @@ state transfer/reload dance; nothing else in this file is mode-aware.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.errors import GuestOSError, SyscallError
@@ -136,6 +137,24 @@ class Kernel:
             self.vo.kernel_exit(cpu)
         self.syscalls_served += 1
         return result
+
+    # ------------------------------------------------------------------
+    # lazy-MMU regions
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def lazy_mmu(self, cpu: "Cpu"):
+        """Bracket bulk page-table work in a lazy-MMU region (Xen-Linux's
+        ``arch_enter_lazy_mmu_mode``): the virtual VO queues PTE updates and
+        issues them as batched ``mmu_update`` multicalls; other VOes treat
+        the markers as no-ops.  ``self.vo`` is re-read at exit so a mode
+        switch mid-region is safe — the old VO's region was drained at
+        commit and the new VO sees a balanced (no-op) end."""
+        self.vo.lazy_mmu_begin(cpu)
+        try:
+            yield
+        finally:
+            self.vo.lazy_mmu_end(cpu)
 
     # ------------------------------------------------------------------
     # user-mode execution models

@@ -110,20 +110,25 @@ class ProcessTable:
         child.next_fd = parent.next_fd
         child.stack_cached_selector_dpl = kernel.vo.data.kernel_segment_dpl
 
-        # COW the parent's mapped pages into the child
-        for vaddr in list(parent.aspace.mapped_vaddrs()):
-            pte = parent.aspace.get_pte(vaddr)
-            if pte is None or not pte.present:
-                continue
-            if pte.writable:
-                kernel.vo.update_pte_flags(cpu, parent.aspace, vaddr,
-                                           writable=False, cow=True)
-                pte = parent.aspace.get_pte(vaddr)
-            child_pte = Pte(frame=pte.frame, present=True, writable=False,
-                            user=pte.user, cow=pte.cow or True)
-            kernel.vo.set_pte(cpu, child_as, vaddr, child_pte)
-            kernel.vmem.share_frame(pte.frame)
-            kernel.smp_lock(cpu)  # page_table_lock bounces per entry on SMP
+        # COW the parent's mapped pages into the child.  The parent-side
+        # re-protections go through the VO under a lazy-MMU region (in
+        # virtual mode: one batched mmu_update instead of a trap per PTE);
+        # the child's entries are collected and installed as one region
+        # write (the child is unpinned, so these are plain stores).
+        child_updates = []
+        with kernel.lazy_mmu(cpu):
+            for vaddr, pte in list(parent.aspace.mapped_items()):
+                if not pte.present:
+                    continue
+                if pte.writable:
+                    kernel.vo.update_pte_flags(cpu, parent.aspace, vaddr,
+                                               writable=False, cow=True)
+                child_updates.append((vaddr, Pte(
+                    frame=pte.frame, present=True, writable=False,
+                    user=pte.user, cow=True)))
+                kernel.vmem.share_frame(pte.frame)
+                kernel.smp_lock(cpu)  # page_table_lock bounces per entry on SMP
+            kernel.vo.apply_pte_region(cpu, child_as, child_updates)
 
         kernel.vo.new_address_space(cpu, child_as)
         kernel.register_aspace(child_as)
@@ -177,13 +182,22 @@ class ProcessTable:
 
     def _teardown_aspace(self, cpu: "Cpu", task: Task, aspace: AddressSpace) -> None:
         """Unmap everything, dropping frame references (frees unshared
-        frames), then unregister + destroy the page tables."""
+        frames), then unregister + destroy the page tables.
+
+        The unmap is one batched clear-all through ``apply_pte_region``
+        (multi-entry ``mmu_update`` in virtual mode) rather than a trap per
+        PTE; frames are released only after the clears are applied, so the
+        allocator never recycles a frame a live PTE still points at."""
         kernel = self.kernel
-        for vaddr in list(aspace.mapped_vaddrs()):
-            pte = aspace.get_pte(vaddr)
-            kernel.vo.clear_pte(cpu, aspace, vaddr)
-            if pte is not None and pte.present:
-                kernel.vmem.release_frame(cpu, pte.frame)
+        updates = []
+        frames = []
+        for vaddr, pte in list(aspace.mapped_items()):
+            updates.append((vaddr, None))
+            if pte.present:
+                frames.append(pte.frame)
+        kernel.vo.apply_pte_region(cpu, aspace, updates)
+        for frame in frames:
+            kernel.vmem.release_frame(cpu, frame)
         kernel.unregister_aspace(aspace)
         kernel.vo.destroy_address_space(cpu, aspace)
 

@@ -123,14 +123,15 @@ class VirtualMemory:
         vma = Vma(IMAGE_BASE, IMAGE_BASE + pages * PAGE_SIZE, name="image")
         task.vmas.append(vma)
         mem = self.kernel.machine.memory
+        updates = []
         for i in range(pages):
             frame = mem.alloc(self.kernel.owner_id)
             cpu.charge(cpu.cost.cyc_page_alloc)
             # copying the image page from the (warm) page cache
             cpu.charge(cpu.cost.cyc_mem_touch_per_kb * 4)
             self.claim_frame(frame)
-            self.kernel.vo.set_pte(cpu, task.aspace,
-                                   vma.start + i * PAGE_SIZE, Pte(frame=frame))
+            updates.append((vma.start + i * PAGE_SIZE, Pte(frame=frame)))
+        self.kernel.vo.apply_pte_region(cpu, task.aspace, updates)
 
     def mmap(self, cpu: "Cpu", task: "Task", length: int, *,
              writable: bool = True, populate: bool = False,
@@ -287,12 +288,15 @@ class VirtualMemory:
         if vma is None:
             raise SyscallError("EINVAL", f"mprotect of unmapped {base:#x}")
         vma.writable = writable
-        for i in range(pages):
-            vaddr = base + i * PAGE_SIZE
-            pte = task.aspace.get_pte(vaddr)
-            if pte is not None and pte.present:
-                self.kernel.vo.update_pte_flags(cpu, task.aspace, vaddr,
-                                                writable=writable)
+        # batched like Linux's change_protection: one lazy-MMU region over
+        # the whole range instead of a trap per PTE
+        with self.kernel.lazy_mmu(cpu):
+            for i in range(pages):
+                vaddr = base + i * PAGE_SIZE
+                pte = task.aspace.get_pte(vaddr)
+                if pte is not None and pte.present:
+                    self.kernel.vo.update_pte_flags(cpu, task.aspace, vaddr,
+                                                    writable=writable)
 
     # ------------------------------------------------------------------
 

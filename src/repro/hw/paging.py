@@ -155,6 +155,15 @@ class AddressSpace:
             for idx in leaf.entries:
                 yield base + idx * PAGE_SIZE
 
+    def mapped_items(self) -> Iterator[tuple[int, "Pte"]]:
+        """Yield ``(vaddr, pte)`` pairs without a per-entry table walk —
+        the bulk paths (fork's COW sweep, exit's teardown) iterate every
+        mapping and a ``get_pte`` walk per vaddr doubles their cost."""
+        for pgd_idx, leaf in self.pgd.entries.items():
+            base = pgd_idx * PT_SPAN
+            for idx, pte in leaf.entries.items():
+                yield base + idx * PAGE_SIZE, pte
+
     def mapped_count(self) -> int:
         return sum(len(leaf.entries) for leaf in self.pgd.entries.values())
 

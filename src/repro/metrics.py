@@ -49,15 +49,16 @@ class MetricsSnapshot:
     traps_emulated: int = 0
     page_validations: int = 0
     world_switches: int = 0
+    mmu_batches: int = 0
+    mmu_batched_updates: int = 0
     # mercury
     mode_switches: int = 0
     vo_entries: int = 0
 
     def __sub__(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
         out = MetricsSnapshot()
-        for f in fields(self):
-            setattr(out, f.name,
-                    getattr(self, f.name) - getattr(other, f.name))
+        for name in _FIELD_NAMES:
+            setattr(out, name, getattr(self, name) - getattr(other, name))
         return out
 
     @property
@@ -71,8 +72,18 @@ class MetricsSnapshot:
         return self.cache_hits / total if total else 0.0
 
     @property
+    def avg_batch_size(self) -> float:
+        return (self.mmu_batched_updates / self.mmu_batches
+                if self.mmu_batches else 0.0)
+
+    @property
     def elapsed_us(self) -> float:
         return self.cycles / 3000.0
+
+
+#: diffing a snapshot per-benchmark-iteration is hot; resolve the dataclass
+#: introspection once instead of per __sub__ call
+_FIELD_NAMES = tuple(f.name for f in fields(MetricsSnapshot))
 
 
 class MetricsCollector:
@@ -117,6 +128,8 @@ class MetricsCollector:
         if self.vmm is not None:
             snap.hypercalls = self.vmm.hypercalls_served
             snap.traps_emulated = self.vmm.traps_emulated
+            snap.mmu_batches = self.vmm.mmu_batches
+            snap.mmu_batched_updates = self.vmm.mmu_batched_updates
             if self.vmm.page_info is not None:
                 snap.page_validations = self.vmm.page_info.validations
             if self.vmm.scheduler is not None:
@@ -155,6 +168,8 @@ def format_report(delta: MetricsSnapshot, title: str = "Metrics") -> str:
         ("virtualization", [("hypercalls", delta.hypercalls),
                             ("traps emulated", delta.traps_emulated),
                             ("page validations", delta.page_validations),
+                            ("mmu batches", delta.mmu_batches),
+                            ("batched updates", delta.mmu_batched_updates),
                             ("mode switches", delta.mode_switches),
                             ("VO entries", delta.vo_entries)]),
     ]
@@ -165,6 +180,8 @@ def format_report(delta: MetricsSnapshot, title: str = "Metrics") -> str:
         lines.append(f"  {name}:")
         for label, v in shown:
             lines.append(f"    {label:<18}{v:>12}")
+    if delta.mmu_batches:
+        lines.append(f"  avg batch size    {delta.avg_batch_size:14.1f}")
     if delta.tlb_hits + delta.tlb_misses:
         lines.append(f"  TLB hit rate      {delta.tlb_hit_rate:14.1%}")
     if delta.cache_hits + delta.cache_misses:

@@ -300,14 +300,18 @@ def _rebuild(kernel: "Kernel", image: CheckpointImage, cpu: "Cpu") -> None:
     kernel.vmem._frame_refs = {fmap[f]: n for f, n in image.frame_refs.items()
                                if f in fmap}
 
-    # address spaces: rebuild the structural objects over the new frames
+    # address spaces: rebuild the structural objects over the new frames,
+    # under one lazy-MMU region — the tables are unpinned while being
+    # rebuilt (plain stores), and pinning via new_address_space flushes
+    # anything a virtual-mode restore queued before validation
     restored_aspaces: list[AddressSpace] = []
-    for a_img in image.aspaces:
-        aspace = _rebuild_aspace(kernel, a_img, fmap)
-        kernel.register_aspace(aspace)
-        restored_aspaces.append(aspace)
-        if kernel.vo.is_virtual:
-            kernel.vo.new_address_space(cpu, aspace)
+    with kernel.lazy_mmu(cpu):
+        for a_img in image.aspaces:
+            aspace = _rebuild_aspace(kernel, a_img, fmap)
+            kernel.register_aspace(aspace)
+            restored_aspaces.append(aspace)
+            if kernel.vo.is_virtual:
+                kernel.vo.new_address_space(cpu, aspace)
 
     # tasks
     by_pid: dict[int, Task] = {}

@@ -52,6 +52,9 @@ class Domain:
         self.vcpus = [Vcpu(i, domain_id) for i in range(num_vcpus)]
         #: address spaces this domain registered (pinned page tables)
         self.aspaces: list["AddressSpace"] = []
+        #: pgd frame -> aspace index for CR3 loads (runs on every context
+        #: switch; the list above stays for ordered iteration)
+        self.aspace_by_pgd: dict[int, "AddressSpace"] = {}
         #: guest-installed trap table (vector -> handler) the VMM forwards to
         self.trap_table: dict[int, object] = {}
         self.event_pending: set[int] = set()
@@ -63,18 +66,21 @@ class Domain:
     def register_aspace(self, aspace: "AddressSpace") -> None:
         if aspace not in self.aspaces:
             self.aspaces.append(aspace)
+            self.aspace_by_pgd[aspace.pgd_frame] = aspace
 
     def unregister_aspace(self, aspace: "AddressSpace") -> None:
         try:
             self.aspaces.remove(aspace)
         except ValueError:
             raise DomainError("address space was not registered") from None
+        self.aspace_by_pgd.pop(aspace.pgd_frame, None)
 
     def destroy(self) -> None:
         if not self.alive:
             raise DomainError(f"domain {self.domain_id} already destroyed")
         self.alive = False
         self.aspaces.clear()
+        self.aspace_by_pgd.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Domain(id={self.domain_id}, name={self.name!r}, "

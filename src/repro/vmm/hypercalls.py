@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.errors import HypercallError
+from repro.params import PAGE_SIZE
 
 if TYPE_CHECKING:
     from repro.hw.cpu import Cpu
@@ -45,8 +46,8 @@ def mmu_update(vmm: "Hypervisor", cpu: "Cpu", domain: "Domain",
     against the page-info table before being applied.  Charged at the
     *batched* per-PTE rate unless the caller overrides (the unbatched
     ``update_va_mapping`` path costs more per entry)."""
-    rate = per_pte_cycles if per_pte_cycles is not None \
-        else cpu.cost.cyc_mmu_update_batched
+    batched = per_pte_cycles is None
+    rate = cpu.cost.cyc_mmu_update_batched if batched else per_pte_cycles
     applied = 0
     for aspace, vaddr, pte in updates:
         _require_registered(domain, aspace)
@@ -55,7 +56,7 @@ def mmu_update(vmm: "Hypervisor", cpu: "Cpu", domain: "Domain",
         if pte is None:
             removed = aspace.clear_pte(vaddr)
             vmm.page_info.account_pte_clear(cpu, removed)
-            cpu.tlb.invalidate(vaddr // 4096)
+            cpu.tlb.invalidate(vaddr // PAGE_SIZE)
         else:
             vmm.page_info.validate_pte_write(cpu, pte, domain.domain_id)
             if old is not None:
@@ -67,8 +68,11 @@ def mmu_update(vmm: "Hypervisor", cpu: "Cpu", domain: "Domain",
             if aspace.pgd.frame in vmm.page_info.pinned and \
                     not vmm.page_info.is_pt_frame(leaf.frame):
                 vmm.page_info.adopt_new_leaf(cpu, leaf)
-            cpu.tlb.invalidate(vaddr // 4096)
+            cpu.tlb.invalidate(vaddr // PAGE_SIZE)
         applied += 1
+    if batched:
+        vmm.mmu_batches += 1
+        vmm.mmu_batched_updates += applied
     return applied
 
 
@@ -97,7 +101,7 @@ def mmuext_op(vmm: "Hypervisor", cpu: "Cpu", domain: "Domain",
         cpu.charge(cpu.cost.cyc_tlb_flush)
         cpu.tlb.flush()
     elif op == "invlpg_local":
-        cpu.tlb.invalidate(vaddr // 4096)
+        cpu.tlb.invalidate(vaddr // PAGE_SIZE)
     else:
         raise HypercallError(f"unknown mmuext op {op!r}")
 

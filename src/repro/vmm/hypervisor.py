@@ -67,6 +67,12 @@ class Hypervisor:
         self.extra_gates: dict[int, object] = {}
         self.hypercalls_served = 0
         self.traps_emulated = 0
+        #: batched mmu_update accounting (lazy-MMU / apply_pte_region paths)
+        self.mmu_batches = 0
+        self.mmu_batched_updates = 0
+        #: per-hypercall-name dispatch counts (perf tests assert the
+        #: single-PTE update_va_mapping path stays cold)
+        self.hypercall_counts: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -173,6 +179,8 @@ class Hypervisor:
             raise HypercallError(f"unknown hypercall {name!r}") from None
         cpu.charge(cpu.cost.cyc_hypercall)
         self.hypercalls_served += 1
+        counts = self.hypercall_counts
+        counts[name] = counts.get(name, 0) + 1
         return fn(self, cpu, domain, *args)
 
     # ------------------------------------------------------------------

@@ -45,6 +45,15 @@ class PageType(enum.IntEnum):
     L2_PAGETABLE = 3   # PGD
 
 
+# enum member access goes through EnumType.__getattr__ on every lookup and
+# the validation loops below run per-PTE on the hottest guest paths — hoist
+# the values to plain ints once
+_NONE = int(PageType.NONE)
+_WRITABLE = int(PageType.WRITABLE)
+_L1 = int(PageType.L1_PAGETABLE)
+_L2 = int(PageType.L2_PAGETABLE)
+
+
 class PageInfoTable:
     """The VMM's view of every physical frame."""
 
@@ -69,18 +78,22 @@ class PageInfoTable:
         every slot, present or not)."""
         cpu.charge(cpu.cost.cyc_pte_validate * PT_ENTRIES)
         self.validations += 1
+        ptype, pcount, prefs = self.type, self.type_count, self.ref_count
+        owner = self.mem.owner
         for pte in leaf.entries.values():
             if not pte.present:
                 continue
-            self._check_frame_for(pte.frame, domain_id)
-            if pte.writable and self.type[pte.frame] in (
-                    PageType.L1_PAGETABLE, PageType.L2_PAGETABLE):
+            frame = pte.frame
+            if owner[frame] != domain_id:
+                self._check_frame_for(frame, domain_id)
+            t = ptype[frame]
+            if pte.writable and (t == _L1 or t == _L2):
                 raise PageValidationError(
-                    f"writable mapping of page-table frame {pte.frame}")
-            self._get_ref(pte.frame)
-            if self.type[pte.frame] == PageType.NONE:
-                self.type[pte.frame] = PageType.WRITABLE
-            self.type_count[pte.frame] += 1
+                    f"writable mapping of page-table frame {frame}")
+            prefs[frame] += 1
+            if t == _NONE:
+                ptype[frame] = _WRITABLE
+            pcount[frame] += 1
         self._set_type(leaf.frame, PageType.L1_PAGETABLE)
 
     def validate_pgd(self, cpu: "Cpu", aspace: "AddressSpace", domain_id: int) -> None:
@@ -132,24 +145,33 @@ class PageInfoTable:
         performs the safety checks and the count bookkeeping."""
         if pte is None or not pte.present:
             return
-        self._check_frame_for(pte.frame, domain_id)
-        if pte.writable and self.type[pte.frame] in (
-                PageType.L1_PAGETABLE, PageType.L2_PAGETABLE):
+        frame = pte.frame
+        if self.mem.owner[frame] != domain_id:
+            self._check_frame_for(frame, domain_id)
+        t = self.type[frame]
+        if pte.writable and (t == _L1 or t == _L2):
             raise PageValidationError(
-                f"mmu_update installs writable mapping of PT frame {pte.frame}")
-        self._get_ref(pte.frame)
-        if self.type[pte.frame] == PageType.NONE:
-            self.type[pte.frame] = PageType.WRITABLE
-        self.type_count[pte.frame] += 1
+                f"mmu_update installs writable mapping of PT frame {frame}")
+        self.ref_count[frame] += 1
+        if t == _NONE:
+            self.type[frame] = _WRITABLE
+        self.type_count[frame] += 1
 
     def account_pte_clear(self, cpu: "Cpu", old_pte) -> None:
         if old_pte is None or not old_pte.present:
             return
-        self.type_count[old_pte.frame] -= 1
-        self._put_ref(old_pte.frame)
-        if self.type_count[old_pte.frame] == 0 and \
-                self.type[old_pte.frame] == PageType.WRITABLE:
-            self.type[old_pte.frame] = PageType.NONE
+        frame = old_pte.frame
+        if self.type_count[frame] <= 0:
+            # the entry's accounting was already dropped (unpin turns a
+            # table back into plain memory with its mappings intact, wiping
+            # the counts its entries contributed) — there is nothing left
+            # to unaccount, and decrementing anyway would let a hostile
+            # pin/map/unpin/clear sequence drive the counts negative
+            return
+        self.type_count[frame] -= 1
+        self.ref_count[frame] -= 1
+        if self.type_count[frame] == 0 and self.type[frame] == _WRITABLE:
+            self.type[frame] = _NONE
 
     # ------------------------------------------------------------------
     # ACTIVE tracking entry points (strategy 1 of §5.1.2)
@@ -219,18 +241,20 @@ class PageInfoTable:
                 and np.array_equal(self.type_count, other.type_count))
 
     def is_pt_frame(self, frame: int) -> bool:
-        return self.type[frame] in (PageType.L1_PAGETABLE, PageType.L2_PAGETABLE)
+        t = self.type[frame]
+        return t == _L1 or t == _L2
 
     # ------------------------------------------------------------------
 
     def _unaccount_leaf(self, cpu: "Cpu", leaf: "PageTablePage") -> None:
+        ptype, pcount, prefs = self.type, self.type_count, self.ref_count
         for pte in leaf.entries.values():
-            if pte.present:
-                self.type_count[pte.frame] -= 1
-                self._put_ref(pte.frame)
-                if self.type_count[pte.frame] == 0 and \
-                        self.type[pte.frame] == PageType.WRITABLE:
-                    self.type[pte.frame] = PageType.NONE
+            if pte.present and pcount[pte.frame] > 0:  # same clamp as
+                frame = pte.frame                      # account_pte_clear
+                pcount[frame] -= 1
+                prefs[frame] -= 1
+                if pcount[frame] == 0 and ptype[frame] == _WRITABLE:
+                    ptype[frame] = _NONE
         self._clear_type(leaf.frame)
 
     def _check_frame_for(self, frame: int, domain_id: int) -> None:

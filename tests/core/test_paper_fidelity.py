@@ -97,11 +97,15 @@ def test_only_performance_critical_code_lives_in_the_vo(mercury):
             getattr(VirtualizationObject, name))
         and name not in ("enter", "exit", "busy")
     }
-    # CPU ops, entry/exit paths, MMU ops, I/O ops — and nothing else
+    # CPU ops, entry/exit paths, MMU ops (including the lazy-MMU batching
+    # region markers — PTE-update paths, squarely performance-critical),
+    # I/O ops — and nothing else
     assert sensitive_methods == {
         "write_cr3", "load_idt", "set_segment_dpl", "irq_disable",
         "irq_enable", "stack_switch", "kernel_entry", "kernel_exit",
         "fault_entry", "set_pte", "clear_pte", "update_pte_flags",
-        "apply_pte_region", "new_address_space", "destroy_address_space",
+        "apply_pte_region", "lazy_mmu_begin", "lazy_mmu_end",
+        "lazy_mmu_flush", "lazy_mmu_drain", "lazy_mmu_pending",
+        "new_address_space", "destroy_address_space",
         "flush_tlb", "invlpg", "bind_irq", "disk_submit", "net_transmit",
     }
