@@ -14,9 +14,12 @@ itself."
 2. **repair-then-retry** — with ``repair=True`` the detected anomalies are
    healed (using the sensors' repairers, under the still-consistent
    current mode) and the switch retried;
-3. **transactional commit** — if the transfer itself raises, the partial
-   state is rolled back (page tables unpinned, segments re-privileged,
-   the VMM deactivated) and the OS continues in its original mode.
+3. **rollback backstop** — the switch engine itself is transactional (its
+   undo log in :class:`~repro.core.transfer.SwitchTransaction` unwinds a
+   faulted transfer, with bounded backoff retries before a terminal
+   :class:`~repro.errors.SwitchAborted`); if an error still escapes, this
+   layer re-runs the idempotent unwind from a mode snapshot so even a
+   failed *rollback* cannot strand the OS half-transferred.
 """
 
 from __future__ import annotations
@@ -41,6 +44,9 @@ class FailsafeReport:
     anomalies_found: list[str] = field(default_factory=list)
     repaired: list[str] = field(default_factory=list)
     rolled_back: bool = False
+    #: engine-level rollbacks observed during this guarded switch (the
+    #: transactional unwinds of :mod:`repro.core.switch`)
+    engine_rollbacks: int = 0
     record: Optional["SwitchRecord"] = None
 
 
@@ -95,8 +101,11 @@ class FailsafeSwitch:
                     raise SwitchVetoed([sensor.name])
                 report.repaired.append(sensor.name)
 
-        # 2. transactional commit
+        # 2. transactional commit (the engine retries transient faults with
+        # backoff and unwinds its own undo log; we keep a snapshot so even
+        # an escaped error lands back in a consistent mode)
         snapshot = self._mode_snapshot()
+        rollbacks_before = mercury.engine.switch_rollbacks
         try:
             record = (mercury.attach(cpu) if to_virtual
                       else mercury.detach(cpu))
@@ -105,8 +114,12 @@ class FailsafeSwitch:
         except Exception:
             self._rollback(cpu, snapshot)
             report.rolled_back = True
+            report.engine_rollbacks = (mercury.engine.switch_rollbacks
+                                       - rollbacks_before)
             self.history.append(report)
             raise
+        report.engine_rollbacks = (mercury.engine.switch_rollbacks
+                                   - rollbacks_before)
         self.history.append(report)
         return report
 

@@ -20,7 +20,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.errors import ConsistencyViolation
+from repro import faults
+from repro.errors import ConsistencyViolation, ReloadFailure
 from repro.hw.cpu import PrivilegeLevel
 
 if TYPE_CHECKING:
@@ -69,5 +70,37 @@ def reload_secondary(cpu: "Cpu", kernel: "Kernel",
                      target_kernel_pl: PrivilegeLevel) -> None:
     """A secondary core's share of the reload, run from its rendezvous IPI
     handler."""
+    if faults.fire(faults.RELOAD_SECONDARY, cpu_id=cpu.cpu_id):
+        raise ReloadFailure(
+            f"injected: cpu{cpu.cpu_id} failed its state reload")
     _reload_own_registers(cpu, kernel,
                           native_target=(target_kernel_pl == PrivilegeLevel.PL0))
+
+
+def reload_secondary_rollback(cpu: "Cpu", kernel: "Kernel",
+                              prev_idt: object = None) -> None:
+    """Undo a committed secondary reload after the switch failed elsewhere.
+
+    Like :func:`reload_secondary` but with two rollback-specific rules:
+
+    - it never traverses the fault-injection seam (a rollback must be
+      infallible, so a fault still armed at the reload site must not
+      re-fire while unwinding);
+    - the hardware IDT goes back to *exactly* what this CPU held before
+      the failed switch — which may be the VMM's forwarding IDT, the
+      guest's, or unset on an AP that never switched.  Which IDT is
+      correct is decided by the control processor's IRQ-binding transfer
+      (and its undo), not per secondary."""
+    saved, cpu.pl = cpu.pl, PrivilegeLevel.PL0
+    try:
+        cpu.load_gdt(cpu.gdt)
+        if prev_idt is not None:
+            cpu.load_idt(prev_idt)
+        else:
+            cpu.idt_base = None
+        current = kernel.scheduler.current
+        if current is not None:
+            cpu.write_cr3(current.aspace.pgd_frame)
+        cpu.tlb.flush()
+    finally:
+        cpu.pl = saved

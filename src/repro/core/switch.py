@@ -6,13 +6,22 @@ The handler:
 
 1. checks the VO reference count (§5.1.1) — if some CPU is inside
    virtualization-sensitive code the switch cannot commit, so a retry timer
-   re-raises the request every 10 ms until the count reaches zero;
+   re-raises the request (10 ms initially, backing off exponentially) until
+   the count reaches zero or the bounded retry budget runs out;
 2. disables interrupts, runs the state-transfer functions (§5.1.2) and the
    hardware state reload (§5.1.3) — on SMP machines under the IPI
    rendezvous (§5.4);
 3. swaps the kernel's VO pointer (§4.2's "relocation ... by changing the
    object pointer") and activates/deactivates the pre-cached VMM;
 4. measures its own duration with RDTSC, exactly as §7.4 does.
+
+The commit is **transactional**: every transfer step journals its inverse
+in a :class:`~repro.core.transfer.SwitchTransaction`, so a fault raised
+anywhere inside the pipeline (see :mod:`repro.faults`) unwinds exactly the
+completed steps and the kernel lands back in its pre-switch mode.  A
+transient fault is retried with exponential backoff; after
+``max_retries`` the attempt terminally fails with
+:class:`~repro.errors.SwitchAborted`.
 """
 
 from __future__ import annotations
@@ -21,11 +30,16 @@ import enum
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
+from repro import faults
 from repro.core.accounting import AccountingStrategy
-from repro.core.reload import reload_control_processor, reload_secondary
+from repro.core.reload import (reload_control_processor, reload_secondary,
+                               reload_secondary_rollback)
 from repro.core.smp import RendezvousResult, SmpCoordinator
 from repro.core import transfer
-from repro.errors import ModeSwitchError, SwitchBusy
+from repro.core.transfer import SwitchTransaction
+from repro.errors import (HypercallError, ModeSwitchError, ReloadFailure,
+                          RendezvousTimeout, SwitchAborted, SwitchBusy,
+                          TransferAborted)
 from repro.hw.cpu import PrivilegeLevel
 from repro.hw.interrupts import VEC_SV_ATTACH, VEC_SV_DETACH
 
@@ -33,9 +47,20 @@ if TYPE_CHECKING:
     from repro.core.mercury import Mercury
     from repro.hw.cpu import Cpu
 
-#: retry period for a busy switch (§5.1.1: "every time interval (e.g.,
-#: every 10 ms)")
+#: initial retry period for a busy/faulted switch (§5.1.1: "every time
+#: interval (e.g., every 10 ms)")
 RETRY_PERIOD_MS = 10
+#: each retry doubles the period ...
+BACKOFF_FACTOR = 2
+#: ... up to this ceiling
+MAX_RETRY_BACKOFF_MS = 160
+#: default bounded retry budget; exceeding it aborts the switch terminally
+MAX_SWITCH_RETRIES = 8
+
+#: mid-transfer failures the engine treats as transient (retry with
+#: backoff); anything else rolls back and propagates immediately
+TRANSIENT_ERRORS = (HypercallError, RendezvousTimeout, TransferAborted,
+                    ReloadFailure, SwitchBusy)
 
 
 class Direction(enum.Enum):
@@ -51,7 +76,10 @@ class SwitchRecord:
     start_tsc: int
     end_tsc: int
     pt_pages: int = 0
+    #: retries consumed by *this* switch (busy re-arms + fault re-arms)
     retries: int = 0
+    #: rollbacks this switch survived before committing
+    rollbacks: int = 0
     rendezvous: Optional[RendezvousResult] = None
 
     @property
@@ -65,29 +93,71 @@ class SwitchRecord:
         return self.us(freq_mhz) / 1000.0
 
 
+@dataclass
+class PendingSwitch:
+    """Book-keeping for one not-yet-committed switch request."""
+
+    direction: Direction
+    retries: int = 0
+    rollbacks: int = 0
+    #: errors observed across this attempt's failed commits
+    errors: list = field(default_factory=list)
+
+
 class ModeSwitchEngine:
     """Owns the switch interrupt handlers and the commit protocol."""
 
-    def __init__(self, mercury: "Mercury"):
+    def __init__(self, mercury: "Mercury",
+                 max_retries: int = MAX_SWITCH_RETRIES):
         self.mercury = mercury
         self.machine = mercury.machine
         self.smp = SmpCoordinator(self.machine)
         self.records: list[SwitchRecord] = []
-        self.pending_retries = 0
+        self.max_retries = max_retries
+        #: per-direction in-flight attempts (retry timers armed)
+        self._pending: dict[Direction, PendingSwitch] = {}
+        #: lifetime count of requests that found the VO busy
         self.failed_attempts = 0
+        #: attempts unwound back to the pre-switch mode (mid-transfer
+        #: faults *and* terminally-abandoned pending requests)
+        self.switch_rollbacks = 0
+        #: undo-log entries executed across all rollbacks
+        self.rollback_steps = 0
+        #: switches terminally aborted after the retry budget
+        self.switch_aborts = 0
+        #: committed-retry distribution: retries-consumed -> #switches
+        self.retry_histogram: dict[int, int] = {}
+
+    @property
+    def pending_retries(self) -> int:
+        """Retries consumed by attempts still in flight."""
+        return sum(p.retries for p in self._pending.values())
+
+    @property
+    def total_retries(self) -> int:
+        """Retries consumed by committed switches (histogram mass)."""
+        return sum(retries * n for retries, n in self.retry_histogram.items())
 
     # ------------------------------------------------------------------
     # handler installation
     # ------------------------------------------------------------------
 
     def install_handlers(self) -> None:
-        """Register the attach vector in the guest IDT (taken in native
-        mode) and the detach vector in the VMM's permanent gates (taken in
-        virtual mode, where the hardware IDT belongs to the VMM —
-        the VO-assistant of §4.4)."""
+        """Register both switch vectors in the guest IDT (live in native
+        mode) and the detach vector additionally in the VMM's permanent
+        gates (virtual mode, where the hardware IDT belongs to the VMM —
+        the VO-assistant of §4.4).
+
+        Both vectors must be deliverable in *both* modes: a backoff retry
+        timer can outlive the mode it was armed in (e.g. a detach retry
+        firing after the detach already committed), and a vector with no
+        gate is a triple fault.  A stale delivery lands in :meth:`_handle`
+        and is dropped there."""
         kernel = self.mercury.kernel
         kernel.idt.set_gate(VEC_SV_ATTACH, self._attach_handler,
                             handler_pl=0, name="sv-attach")
+        kernel.idt.set_gate(VEC_SV_DETACH, self._detach_handler,
+                            handler_pl=0, name="sv-detach")
         self.mercury.vmm.extra_gates[VEC_SV_DETACH] = self._detach_handler
 
     # ------------------------------------------------------------------
@@ -123,31 +193,62 @@ class ModeSwitchEngine:
         # per target mode
         if direction is Direction.TO_VIRTUAL and mercury.vmm.active and \
                 mercury.kernel.vo is mercury.virtual_vo:
-            self.pending_retries = 0
+            self._pending.pop(direction, None)
             return
         if direction is Direction.TO_NATIVE and \
                 mercury.kernel.vo is mercury.native_vo:
-            self.pending_retries = 0
+            self._pending.pop(direction, None)
             return
 
-        # §5.1.1: only commit at refcount zero
+        # §5.1.1: only commit at refcount zero (a fault armed at the
+        # refcount site simulates a CPU wedged inside sensitive code)
         cpu.charge(cpu.cost.cyc_refcount_check)
-        if mercury.kernel.vo.busy():
+        if faults.fire(faults.REFCOUNT_STUCK, cpu_id=cpu.cpu_id) or \
+                mercury.kernel.vo.busy():
             self.failed_attempts += 1
-            self._arm_retry(cpu, direction)
+            self._retry_or_abort(cpu, direction, cause=None)
             return
 
-        retries = self.pending_retries
-        self.pending_retries = 0
-        record = self._commit(cpu, direction, start_tsc, retries)
+        attempt = self._pending.pop(direction, None)
+        try:
+            record = self._commit(cpu, direction, start_tsc, attempt)
+        except TRANSIENT_ERRORS as exc:
+            # _commit already rolled the machine back; arm a backoff retry
+            # (or terminally abort once the budget is gone)
+            if attempt is None:
+                attempt = PendingSwitch(direction)
+            attempt.rollbacks += 1
+            attempt.errors.append(exc)
+            self._pending[direction] = attempt
+            self._retry_or_abort(cpu, direction, cause=exc)
+            return
         self.records.append(record)
+        retries = record.retries
+        self.retry_histogram[retries] = \
+            self.retry_histogram.get(retries, 0) + 1
 
-    def _arm_retry(self, cpu: "Cpu", direction: Direction) -> None:
-        """Busy: register a timer that re-raises the request (§5.1.1)."""
-        self.pending_retries += 1
+    def _retry_or_abort(self, cpu: "Cpu", direction: Direction,
+                        cause: Optional[Exception]) -> None:
+        """Bounded retry with exponential backoff; terminal SwitchAborted
+        once the budget is exhausted."""
+        attempt = self._pending.setdefault(direction,
+                                           PendingSwitch(direction))
+        if attempt.retries >= self.max_retries:
+            self._pending.pop(direction, None)
+            self.switch_aborts += 1
+            if cause is None:
+                # busy-abort: nothing was transferred, but the pending
+                # request itself is unwound to the pre-switch state
+                self.switch_rollbacks += 1
+                cause = attempt.errors[-1] if attempt.errors else None
+            raise SwitchAborted(direction, attempt.retries, cause)
+        attempt.retries += 1
+        delay_ms = min(
+            RETRY_PERIOD_MS * BACKOFF_FACTOR ** (attempt.retries - 1),
+            MAX_RETRY_BACKOFF_MS)
         vector = (VEC_SV_ATTACH if direction is Direction.TO_VIRTUAL
                   else VEC_SV_DETACH)
-        period_cycles = RETRY_PERIOD_MS * 1000 * cpu.cost.freq_mhz
+        period_cycles = delay_ms * 1000 * cpu.cost.freq_mhz
         self.machine.clock.schedule(
             period_cycles,
             lambda: self.machine.intc.raise_vector(cpu.cpu_id, vector))
@@ -157,7 +258,7 @@ class ModeSwitchEngine:
     # ------------------------------------------------------------------
 
     def _commit(self, cpu: "Cpu", direction: Direction, start_tsc: int,
-                retries: int) -> SwitchRecord:
+                attempt: Optional[PendingSwitch]) -> SwitchRecord:
         mercury = self.mercury
         kernel = mercury.kernel
         if direction is Direction.TO_VIRTUAL and mercury.vmm.active and \
@@ -178,11 +279,19 @@ class ModeSwitchEngine:
             raise ModeSwitchError(
                 "lazy-MMU queue not empty at mode-switch commit")
         pt_pages = 0
+        txn = SwitchTransaction()
         try:
-            if direction is Direction.TO_VIRTUAL:
-                pt_pages, rendezvous = self._to_virtual(cpu)
-            else:
-                pt_pages, rendezvous = self._to_native(cpu)
+            try:
+                if direction is Direction.TO_VIRTUAL:
+                    pt_pages, rendezvous = self._to_virtual(cpu, txn)
+                else:
+                    pt_pages, rendezvous = self._to_native(cpu, txn)
+            except BaseException:
+                # unwind the completed steps newest-first; interrupts are
+                # still masked here, which the reload undo requires
+                self.rollback_steps += txn.rollback(cpu)
+                self.switch_rollbacks += 1
+                raise
         finally:
             cpu.interrupts_enabled = saved_if
         end_tsc = cpu.rdtsc()
@@ -194,9 +303,12 @@ class ModeSwitchEngine:
                         if direction is Direction.TO_VIRTUAL else Mode.NATIVE)
         return SwitchRecord(direction=direction, start_tsc=start_tsc,
                             end_tsc=end_tsc, pt_pages=pt_pages,
-                            retries=retries, rendezvous=rendezvous)
+                            retries=attempt.retries if attempt else 0,
+                            rollbacks=attempt.rollbacks if attempt else 0,
+                            rendezvous=rendezvous)
 
-    def _to_virtual(self, cpu: "Cpu") -> tuple[int, Optional[RendezvousResult]]:
+    def _to_virtual(self, cpu: "Cpu", txn: SwitchTransaction
+                    ) -> tuple[int, Optional[RendezvousResult]]:
         mercury = self.mercury
         kernel = mercury.kernel
         vmm = mercury.vmm
@@ -208,17 +320,31 @@ class ModeSwitchEngine:
             if mercury.paging is PagingMode.SHADOW:
                 # §3.2.2 shadow mode: translate every guest table into a
                 # VMM-owned shadow instead of validating + pinning
+                if faults.fire(faults.PT_TRANSFER_ABORT):
+                    raise TransferAborted(
+                        "injected: shadow build aborted before start")
                 for aspace in kernel.aspaces:
                     domain.register_aspace(aspace)
+                txn.did("register-aspaces",
+                        lambda c: [domain.unregister_aspace(a)
+                                   for a in list(domain.aspaces)])
                 state["pt_pages"] = mercury.pager.build_all(cp, kernel.aspaces)
+                txn.did("shadow-build", lambda c: mercury.pager.drop_all(c))
             else:
                 state["pt_pages"] = transfer.transfer_page_tables_to_virtual(
-                    cp, kernel, vmm, domain, mercury.strategy)
-            transfer.transfer_segments(cp, kernel, new_dpl=1)
-            transfer.transfer_irq_bindings_to_virtual(cp, kernel, vmm, domain)
+                    cp, kernel, vmm, domain, mercury.strategy, txn=txn)
+            transfer.transfer_segments(cp, kernel, new_dpl=1, txn=txn)
+            transfer.transfer_irq_bindings_to_virtual(cp, kernel, vmm, domain,
+                                                      txn=txn)
             vmm.activate()
+            txn.did("vmm-activate", lambda c: vmm.deactivate())
             reload_control_processor(cp, kernel, PrivilegeLevel.PL1)
+            txn.did("cp-reload",
+                    lambda c: reload_control_processor(c, kernel,
+                                                       PrivilegeLevel.PL0))
+            old_vo = kernel.vo
             kernel.vo = mercury.virtual_vo
+            txn.did("vo-swap", lambda c: setattr(kernel, "vo", old_vo))
             if mercury.paging is PagingMode.SHADOW and \
                     kernel.scheduler.current is not None:
                 # the hardware must run on the shadow root, not the guest's
@@ -226,12 +352,17 @@ class ModeSwitchEngine:
                     cp, kernel.scheduler.current.aspace.pgd_frame)
 
         def secondary_work(c: "Cpu") -> None:
+            prev_idt = c.idt_base
             reload_secondary(c, kernel, PrivilegeLevel.PL1)
+            txn.did(f"secondary-reload-cpu{c.cpu_id}",
+                    lambda cp_, sec=c, idt=prev_idt:
+                        reload_secondary_rollback(sec, kernel, idt))
 
         rendezvous = self._run(cpu, cp_work, secondary_work)
         return state["pt_pages"], rendezvous
 
-    def _to_native(self, cpu: "Cpu") -> tuple[int, Optional[RendezvousResult]]:
+    def _to_native(self, cpu: "Cpu", txn: SwitchTransaction
+                   ) -> tuple[int, Optional[RendezvousResult]]:
         mercury = self.mercury
         kernel = mercury.kernel
         vmm = mercury.vmm
@@ -241,22 +372,40 @@ class ModeSwitchEngine:
         def cp_work(cp: "Cpu") -> None:
             from repro.core.mercury import PagingMode
             if mercury.paging is PagingMode.SHADOW:
+                if faults.fire(faults.PT_TRANSFER_ABORT):
+                    raise TransferAborted(
+                        "injected: shadow drop aborted before start")
                 mercury.pager.drop_all(cp)
+                txn.did("shadow-drop",
+                        lambda c: mercury.pager.build_all(c, kernel.aspaces))
                 for aspace in list(domain.aspaces):
                     domain.unregister_aspace(aspace)
+                    txn.did(f"unregister-aspace-{aspace.pgd_frame}",
+                            lambda c, a=aspace: domain.register_aspace(a))
                 state["pt_pages"] = sum(a.num_pt_pages()
                                         for a in kernel.aspaces)
             else:
                 state["pt_pages"] = transfer.transfer_page_tables_to_native(
-                    cp, kernel, vmm, domain)
-            transfer.transfer_segments(cp, kernel, new_dpl=0)
+                    cp, kernel, vmm, domain, txn=txn)
+            transfer.transfer_segments(cp, kernel, new_dpl=0, txn=txn)
             vmm.deactivate()
-            transfer.transfer_irq_bindings_to_native(cp, kernel)
+            txn.did("vmm-deactivate", lambda c: vmm.activate())
+            transfer.transfer_irq_bindings_to_native(cp, kernel, vmm, domain,
+                                                     txn=txn)
             reload_control_processor(cp, kernel, PrivilegeLevel.PL0)
+            txn.did("cp-reload",
+                    lambda c: reload_control_processor(c, kernel,
+                                                       PrivilegeLevel.PL1))
+            old_vo = kernel.vo
             kernel.vo = mercury.native_vo
+            txn.did("vo-swap", lambda c: setattr(kernel, "vo", old_vo))
 
         def secondary_work(c: "Cpu") -> None:
+            prev_idt = c.idt_base
             reload_secondary(c, kernel, PrivilegeLevel.PL0)
+            txn.did(f"secondary-reload-cpu{c.cpu_id}",
+                    lambda cp_, sec=c, idt=prev_idt:
+                        reload_secondary_rollback(sec, kernel, idt))
 
         rendezvous = self._run(cpu, cp_work, secondary_work)
         return state["pt_pages"], rendezvous

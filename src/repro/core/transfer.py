@@ -14,13 +14,20 @@ Three sets of kernel state move during a switch:
 3. **Interrupt handlers and bindings** — the guest IDT drives the hardware
    directly in native mode; in virtual mode the hardware IDT is the VMM's
    and guest handlers are reached through its forwarding gates.
+
+Every function takes an optional :class:`SwitchTransaction`: as each step
+completes it journals an inverse operation, so a fault raised partway
+through a switch (see :mod:`repro.faults`) unwinds exactly the completed
+steps and the kernel lands back in a consistent pre-switch mode.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable, Optional
 
+from repro import faults
 from repro.core.accounting import AccountingStrategy
+from repro.errors import ConsistencyViolation, HypercallError, TransferAborted
 from repro.hw.cpu import PrivilegeLevel
 
 if TYPE_CHECKING:
@@ -30,53 +37,144 @@ if TYPE_CHECKING:
     from repro.vmm.hypervisor import Hypervisor
 
 
+class SwitchTransaction:
+    """Undo log for one mode-switch attempt.
+
+    Each completed transfer step registers the closure that reverses it;
+    :meth:`rollback` runs them newest-first.  An undo closure must itself be
+    infallible for state the simulator owns — if one raises anyway, the
+    remaining entries still run and a :class:`ConsistencyViolation`
+    surfaces afterwards (a failed unwind is a bug, not a recoverable
+    condition)."""
+
+    def __init__(self):
+        self._undo: list[tuple[str, Callable[["Cpu"], None]]] = []
+
+    def did(self, step: str, undo: Callable[["Cpu"], None]) -> None:
+        """Journal one completed step and its inverse."""
+        self._undo.append((step, undo))
+
+    @property
+    def steps(self) -> list[str]:
+        return [name for name, _ in self._undo]
+
+    def rollback(self, cpu: "Cpu") -> int:
+        """Unwind every journalled step, newest first; returns the number
+        of undo entries executed."""
+        errors: list[str] = []
+        ran = 0
+        while self._undo:
+            step, undo = self._undo.pop()
+            try:
+                undo(cpu)
+            except Exception as exc:  # noqa: BLE001 - collected, re-raised
+                errors.append(f"{step}: {exc!r}")
+            ran += 1
+        if errors:
+            raise ConsistencyViolation(
+                f"rollback itself failed: {errors}")
+        return ran
+
+
+def _fire_transfer_faults(processed: int) -> None:
+    """The two injection seams every per-aspace transfer loop passes."""
+    if faults.fire(faults.TRANSFER_HYPERCALL):
+        raise HypercallError(
+            "injected: transient hypercall failure during state transfer")
+    if faults.fire(faults.PT_TRANSFER_ABORT):
+        raise TransferAborted(
+            f"injected: page-table transfer aborted after {processed} pages")
+
+
 def transfer_page_tables_to_virtual(cpu: "Cpu", kernel: "Kernel",
                                     vmm: "Hypervisor", domain: "Domain",
-                                    strategy: AccountingStrategy) -> int:
+                                    strategy: AccountingStrategy,
+                                    txn: Optional[SwitchTransaction] = None
+                                    ) -> int:
     """Hand the OS's page tables to the VMM: register every address space
     with the domain and make the page-info table correct.
 
     Returns the number of page-table pages processed (the dominant cost
     driver of the native→virtual switch, §7.4)."""
     processed = 0
-    for aspace in kernel.aspaces:
-        domain.register_aspace(aspace)
-        processed += aspace.num_pt_pages()
-
     if strategy is AccountingStrategy.RECOMPUTE:
-        # full re-validation: the expensive, paper-default path
-        vmm.page_info.recompute(cpu, kernel.aspaces, domain.domain_id)
+        # full re-validation: the expensive, paper-default path.  The wipe
+        # returns the table to native mode's "VMM lost track" rest state,
+        # which is also exactly the correct undo of a partial recompute.
+        if txn is not None:
+            txn.did("pageinfo-recompute",
+                    lambda c: vmm.page_info.reset())
+        vmm.page_info.reset()
+        for aspace in kernel.aspaces:
+            _fire_transfer_faults(processed)
+            domain.register_aspace(aspace)
+            if txn is not None:
+                txn.did(f"register-aspace-{aspace.pgd_frame}",
+                        lambda c, a=aspace: domain.unregister_aspace(a))
+            vmm.page_info.validate_pgd(cpu, aspace, domain.domain_id)
+            processed += aspace.num_pt_pages()
     else:
         # ACTIVE: counts were maintained from native mode; only the pin
         # markers and a light re-protection pass are needed
         for aspace in kernel.aspaces:
+            _fire_transfer_faults(processed)
+            domain.register_aspace(aspace)
+            if txn is not None:
+                txn.did(f"register-aspace-{aspace.pgd_frame}",
+                        lambda c, a=aspace: domain.unregister_aspace(a))
+            added: list[int] = []
             for pt in aspace.pt_pages():
                 cpu.charge(cpu.cost.cyc_transfer_per_pt_page)
-                vmm.page_info.pinned.add(pt.frame)
+                if pt.frame not in vmm.page_info.pinned:
+                    vmm.page_info.pinned.add(pt.frame)
+                    added.append(pt.frame)
+            if txn is not None and added:
+                txn.did(f"pin-aspace-{aspace.pgd_frame}",
+                        lambda c, fr=tuple(added):
+                        vmm.page_info.pinned.difference_update(fr))
+            processed += aspace.num_pt_pages()
     return processed
 
 
 def transfer_page_tables_to_native(cpu: "Cpu", kernel: "Kernel",
-                                   vmm: "Hypervisor", domain: "Domain") -> int:
+                                   vmm: "Hypervisor", domain: "Domain",
+                                   txn: Optional[SwitchTransaction] = None
+                                   ) -> int:
     """Give the page tables back to the OS: unpin (make writable again) and
     unregister.  The page-info table is left as-is; it is stale from this
     moment (unless the ACTIVE accountant keeps it warm)."""
     processed = 0
     for aspace in list(kernel.aspaces):
+        _fire_transfer_faults(processed)
+        unpinned: list[int] = []
         for pt in aspace.pt_pages():
             cpu.charge(cpu.cost.cyc_transfer_per_pt_page)
-            vmm.page_info.pinned.discard(pt.frame)
+            if pt.frame in vmm.page_info.pinned:
+                vmm.page_info.pinned.discard(pt.frame)
+                unpinned.append(pt.frame)
             processed += 1
+        if txn is not None and unpinned:
+            txn.did(f"unpin-aspace-{aspace.pgd_frame}",
+                    lambda c, fr=tuple(unpinned):
+                    vmm.page_info.pinned.update(fr))
         if aspace in domain.aspaces:
             domain.unregister_aspace(aspace)
+            if txn is not None:
+                txn.did(f"unregister-aspace-{aspace.pgd_frame}",
+                        lambda c, a=aspace: domain.register_aspace(a))
     return processed
 
 
-def transfer_segments(cpu: "Cpu", kernel: "Kernel", new_dpl: int) -> int:
+def transfer_segments(cpu: "Cpu", kernel: "Kernel", new_dpl: int,
+                      txn: Optional[SwitchTransaction] = None) -> int:
     """Re-privilege the kernel segments and fix every stack-cached selector
     (§5.1.2: 'a code stub to check and fix the cached segment selectors').
 
     Returns the number of task frames fixed."""
+    if txn is not None:
+        old_dpl = kernel.vo.data.kernel_segment_dpl
+        txn.did(f"segments-dpl{new_dpl}",
+                lambda c: transfer_segments(c, kernel, new_dpl=old_dpl))
     for c in kernel.machine.cpus:
         for desc in c.gdt.values():
             if desc.name.startswith("kernel"):
@@ -95,18 +193,59 @@ def transfer_segments(cpu: "Cpu", kernel: "Kernel", new_dpl: int) -> int:
     return fixed
 
 
+def _snapshot_idts(kernel: "Kernel") -> dict[int, object]:
+    return {c.cpu_id: c.idt_base for c in kernel.machine.cpus}
+
+
+def _restore_idts(kernel: "Kernel", old_idts: dict[int, object]) -> None:
+    """Put back *exactly* the per-CPU hardware IDTs a failed switch found —
+    including 'never loaded' on an AP that hasn't switched yet.  An undo
+    must not re-derive which IDT is correct; it restores what was there."""
+    for c in kernel.machine.cpus:
+        prev = old_idts[c.cpu_id]
+        saved, c.pl = c.pl, PrivilegeLevel.PL0
+        try:
+            if prev is not None:
+                c.load_idt(prev)
+            else:
+                c.idt_base = None
+        finally:
+            c.pl = saved
+
+
 def transfer_irq_bindings_to_virtual(cpu: "Cpu", kernel: "Kernel",
-                                     vmm: "Hypervisor", domain: "Domain") -> None:
+                                     vmm: "Hypervisor", domain: "Domain",
+                                     txn: Optional[SwitchTransaction] = None
+                                     ) -> None:
     """Move interrupt delivery under the VMM: register the guest's handlers
     as the domain trap table and install the VMM's forwarding IDT."""
+    if txn is not None:
+        old_table = domain.trap_table
+        old_idts = _snapshot_idts(kernel)
+
+        def undo(c: "Cpu") -> None:
+            domain.trap_table = old_table
+            _restore_idts(kernel, old_idts)
+
+        txn.did("irq-to-virtual", undo)
     table = {vec: entry.handler for vec, entry in kernel.idt.gates.items()}
     domain.trap_table = table
     cpu.charge(cpu.cost.cyc_privop_native * max(1, len(table)))
     vmm.install_idt_for(domain)
 
 
-def transfer_irq_bindings_to_native(cpu: "Cpu", kernel: "Kernel") -> None:
-    """Point the hardware back at the guest's own IDT."""
+def transfer_irq_bindings_to_native(cpu: "Cpu", kernel: "Kernel",
+                                    vmm: Optional["Hypervisor"] = None,
+                                    domain: Optional["Domain"] = None,
+                                    txn: Optional[SwitchTransaction] = None
+                                    ) -> None:
+    """Point the hardware back at the guest's own IDT.  (``vmm``/``domain``
+    are accepted for call-site symmetry; the journalled undo restores the
+    captured per-CPU IDTs rather than re-deriving the forwarding IDT.)"""
+    if txn is not None:
+        old_idts = _snapshot_idts(kernel)
+        txn.did("irq-to-native",
+                lambda c: _restore_idts(kernel, old_idts))
     cpu.charge(cpu.cost.cyc_privop_native * max(1, len(kernel.idt.gates)))
     for c in kernel.machine.cpus:
         saved, c.pl = c.pl, PrivilegeLevel.PL0

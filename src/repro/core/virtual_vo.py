@@ -121,7 +121,16 @@ class VirtualVO(VirtualizationObject):
         queue, st.queue, st.pending = st.queue, [], {}
         batch = cpu.cost.mmu_batch_size
         for i in range(0, len(queue), batch):
-            self._hcall(cpu, "mmu_update", queue[i:i + batch])
+            try:
+                self._hcall(cpu, "mmu_update", queue[i:i + batch])
+            except HypercallError:
+                # a transient refusal applies nothing from the batch —
+                # restore it (plus the unsent remainder) so the next flush
+                # point retries instead of silently dropping PTE updates
+                rest = queue[i:] + st.queue
+                st.queue = rest
+                st.pending = {(id(a), v): p for a, v, p in rest}
+                raise
 
     def _queue_update(self, cpu, st: _LazyMmuState, aspace, vaddr: int,
                       pte) -> None:

@@ -153,6 +153,33 @@ class RendezvousTimeout(MercuryError):
     """The SMP rendezvous protocol did not gather all CPUs in time."""
 
 
+class TransferAborted(MercuryError):
+    """A state-transfer function (§5.1.2) aborted partway through; the
+    switch engine's undo log rolls the completed steps back."""
+
+
+class ReloadFailure(MercuryError):
+    """A CPU failed to reload its hardware control state (§5.1.3) during a
+    switch — the hard case, because the control processor's work has
+    already committed when a secondary's reload dies."""
+
+
+class SwitchAborted(MercuryError):
+    """A mode switch exhausted its bounded retry budget and was terminally
+    aborted.  The kernel was rolled back to (or never left) its pre-switch
+    mode; ``last_error`` carries the final attempt's failure, if any."""
+
+    def __init__(self, direction, retries: int,
+                 last_error: "Exception | None" = None):
+        detail = f": {last_error}" if last_error is not None else ""
+        super().__init__(
+            f"mode switch {getattr(direction, 'value', direction)} aborted "
+            f"after {retries} retries{detail}")
+        self.direction = direction
+        self.retries = retries
+        self.last_error = last_error
+
+
 class ConsistencyViolation(MercuryError):
     """An internal invariant check failed.  This should never escape in a
     correct build; tests assert that specific misuse raises it."""

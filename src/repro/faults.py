@@ -1,0 +1,208 @@
+"""Deterministic fault injection for the mode-switch pipeline (§8).
+
+The paper's dependability argument (§4.3, §5.1) requires that a mode switch
+never leaves the kernel half-transferred.  Proving that needs faults raised
+*inside* the switch — not just resource exhaustion around it — at every
+point where the pipeline touches shared state: the refcount gate, the SMP
+rendezvous, the state-transfer loops, and the per-CPU hardware reloads.
+
+Faults here are **deterministic**: a :class:`FaultPlan` arms a named
+:class:`FaultSite` by *hit ordinal* (fire on the Nth time execution reaches
+the site) and *count* (fire that many consecutive times, or forever).  No
+wall-clock, no randomness — the same plan against the same workload injects
+at exactly the same instruction, every run, which is what lets the crash
+matrix bisect a rollback bug to a single site.
+
+The pipeline hooks call :func:`fire`; it is a no-op (one ``is None`` test)
+unless a plan is installed via :func:`install_plan` / :func:`injected`, so
+production paths pay nothing.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+
+@dataclass(frozen=True)
+class FaultSite:
+    """One named seam in the switch pipeline where a fault can be armed."""
+
+    name: str
+    description: str
+    #: the site only exists on multi-CPU machines (IPI/rendezvous seams)
+    smp_only: bool = False
+    #: the site is reached during a mode switch (matrix-testable); False
+    #: for workload-time seams like the hypercall dispatcher
+    during_switch: bool = True
+
+
+# -- the switch-pipeline site catalogue (docs/architecture.md mirrors it) --
+
+REFCOUNT_STUCK = "switch.refcount-stuck"
+IPI_DROPPED = "smp.ipi-dropped"
+IPI_DELAYED = "smp.ipi-delayed"
+RENDEZVOUS_TIMEOUT = "smp.rendezvous-timeout"
+TRANSFER_HYPERCALL = "transfer.hypercall-error"
+PT_TRANSFER_ABORT = "transfer.pt-abort"
+RELOAD_SECONDARY = "reload.secondary-failure"
+#: workload-time seam: a transient failure in the mmu_update hypercall
+MMU_UPDATE_TRANSIENT = "vmm.mmu-update-transient"
+
+#: the registry the crash matrix iterates: every site reached by the
+#: attach/detach pipeline
+SWITCH_SITES: tuple[FaultSite, ...] = (
+    FaultSite(REFCOUNT_STUCK,
+              "the VO reference count reads as stuck non-zero at the "
+              "commit gate (§5.1.1), forcing the retry path"),
+    FaultSite(IPI_DROPPED,
+              "the rendezvous IPI to a secondary CPU is lost (§5.4)",
+              smp_only=True),
+    FaultSite(IPI_DELAYED,
+              "the rendezvous IPI to a secondary CPU is delivered late, "
+              "stretching the gather phase", smp_only=True),
+    FaultSite(RENDEZVOUS_TIMEOUT,
+              "the shared-counter gather never completes", smp_only=True),
+    FaultSite(TRANSFER_HYPERCALL,
+              "a transient HypercallError strikes mid state transfer "
+              "(§5.1.2)"),
+    FaultSite(PT_TRANSFER_ABORT,
+              "the page-table transfer aborts partway, leaving some "
+              "address spaces transferred and some not"),
+    FaultSite(RELOAD_SECONDARY,
+              "a secondary CPU's hardware state reload fails (§5.1.3) "
+              "after the control processor already committed its work",
+              smp_only=True),
+)
+
+#: seams outside the switch pipeline (stress/storm tests use these)
+WORKLOAD_SITES: tuple[FaultSite, ...] = (
+    FaultSite(MMU_UPDATE_TRANSIENT,
+              "the mmu_update hypercall fails transiently under workload",
+              during_switch=False),
+)
+
+ALL_SITES: tuple[FaultSite, ...] = SWITCH_SITES + WORKLOAD_SITES
+_SITE_BY_NAME = {s.name: s for s in ALL_SITES}
+
+
+def site(name: str) -> FaultSite:
+    """Look up a site by name (KeyError on an unknown site)."""
+    return _SITE_BY_NAME[name]
+
+
+@dataclass
+class ArmedFault:
+    """One armed site: deterministic trigger bookkeeping."""
+
+    site: str
+    #: fire starting at this hit ordinal (1 = the first time the site runs)
+    trigger_at: int = 1
+    #: how many consecutive hits fire; ``None`` = every hit from trigger_at
+    times: Optional[int] = 1
+    #: restrict to one CPU's traversal of the site (None = any CPU)
+    cpu_id: Optional[int] = None
+    hits: int = 0
+    fired: int = 0
+
+    def matches(self, cpu_id: Optional[int]) -> bool:
+        return self.cpu_id is None or self.cpu_id == cpu_id
+
+    def should_fire(self) -> bool:
+        """Record one hit; True if this hit is within the armed window."""
+        self.hits += 1
+        if self.hits < self.trigger_at:
+            return False
+        if self.times is not None and self.fired >= self.times:
+            return False
+        self.fired += 1
+        return True
+
+
+class FaultPlan:
+    """A deterministic set of armed faults, installable as the active plan."""
+
+    def __init__(self):
+        self._armed: dict[str, list[ArmedFault]] = {}
+        self.injected = 0
+        #: (site, cpu_id) log of every firing, in order — the audit trail
+        self.log: list[tuple[str, Optional[int]]] = []
+
+    def arm(self, site_name: str, trigger_at: int = 1,
+            times: Optional[int] = 1,
+            cpu_id: Optional[int] = None) -> ArmedFault:
+        if site_name not in _SITE_BY_NAME:
+            raise KeyError(f"unknown fault site {site_name!r}")
+        fault = ArmedFault(site_name, trigger_at=trigger_at, times=times,
+                           cpu_id=cpu_id)
+        self._armed.setdefault(site_name, []).append(fault)
+        return fault
+
+    def disarm(self, site_name: str) -> None:
+        self._armed.pop(site_name, None)
+
+    def disarm_all(self) -> None:
+        self._armed.clear()
+
+    def armed_sites(self) -> list[str]:
+        return sorted(self._armed)
+
+    def check(self, site_name: str, cpu_id: Optional[int] = None) -> bool:
+        """Record one traversal of ``site_name``; True if a fault fires."""
+        fired = False
+        for fault in self._armed.get(site_name, ()):
+            if fault.matches(cpu_id) and fault.should_fire():
+                fired = True
+        if fired:
+            self.injected += 1
+            self.log.append((site_name, cpu_id))
+            global _INJECTED_TOTAL
+            _INJECTED_TOTAL += 1
+        return fired
+
+
+# ---------------------------------------------------------------------------
+# the active plan (the simulator is single-threaded; module scope is the
+# natural "machine-wide" scope)
+# ---------------------------------------------------------------------------
+
+_ACTIVE: Optional[FaultPlan] = None
+#: lifetime count of injected faults, monotonic across plans — what the
+#: metrics layer snapshots (plans come and go; snapshots are diffed)
+_INJECTED_TOTAL = 0
+
+
+def install_plan(plan: FaultPlan) -> None:
+    global _ACTIVE
+    _ACTIVE = plan
+
+
+def clear_plan() -> None:
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active_plan() -> Optional[FaultPlan]:
+    return _ACTIVE
+
+
+def injected_total() -> int:
+    return _INJECTED_TOTAL
+
+
+def fire(site_name: str, cpu_id: Optional[int] = None) -> bool:
+    """The pipeline hook: does the active plan (if any) inject here, now?"""
+    if _ACTIVE is None:
+        return False
+    return _ACTIVE.check(site_name, cpu_id)
+
+
+@contextlib.contextmanager
+def injected(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Install ``plan`` for the duration of a with-block (tests' main door)."""
+    install_plan(plan)
+    try:
+        yield plan
+    finally:
+        clear_plan()

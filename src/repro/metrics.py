@@ -54,11 +54,25 @@ class MetricsSnapshot:
     # mercury
     mode_switches: int = 0
     vo_entries: int = 0
+    # dependability (§8 failure-resistant switching)
+    switch_aborts: int = 0
+    switch_rollbacks: int = 0
+    rollback_steps: int = 0
+    switch_retries: int = 0
+    pending_retries: int = 0
+    failed_attempts: int = 0
+    faults_injected: int = 0
+    #: committed-switch retry distribution: retries-consumed -> #switches
+    retry_histogram: dict = field(default_factory=dict)
 
     def __sub__(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
         out = MetricsSnapshot()
         for name in _FIELD_NAMES:
             setattr(out, name, getattr(self, name) - getattr(other, name))
+        out.retry_histogram = {
+            k: v - other.retry_histogram.get(k, 0)
+            for k, v in self.retry_histogram.items()
+            if v - other.retry_histogram.get(k, 0)}
         return out
 
     @property
@@ -82,8 +96,10 @@ class MetricsSnapshot:
 
 
 #: diffing a snapshot per-benchmark-iteration is hot; resolve the dataclass
-#: introspection once instead of per __sub__ call
-_FIELD_NAMES = tuple(f.name for f in fields(MetricsSnapshot))
+#: introspection once instead of per __sub__ call (the histogram dict is
+#: diffed key-wise, not subtracted)
+_FIELD_NAMES = tuple(f.name for f in fields(MetricsSnapshot)
+                     if f.name != "retry_histogram")
 
 
 class MetricsCollector:
@@ -137,6 +153,16 @@ class MetricsCollector:
 
         if self.mercury is not None:
             snap.mode_switches = len(self.mercury.switch_records)
+            engine = self.mercury.engine
+            snap.switch_aborts = engine.switch_aborts
+            snap.switch_rollbacks = engine.switch_rollbacks
+            snap.rollback_steps = engine.rollback_steps
+            snap.switch_retries = engine.total_retries
+            snap.pending_retries = engine.pending_retries
+            snap.failed_attempts = engine.failed_attempts
+            snap.retry_histogram = dict(engine.retry_histogram)
+        from repro import faults
+        snap.faults_injected = faults.injected_total()
         return snap
 
     def measure(self, fn, *args, **kwargs):
@@ -172,6 +198,12 @@ def format_report(delta: MetricsSnapshot, title: str = "Metrics") -> str:
                             ("batched updates", delta.mmu_batched_updates),
                             ("mode switches", delta.mode_switches),
                             ("VO entries", delta.vo_entries)]),
+        ("dependability", [("switch retries", delta.switch_retries),
+                           ("busy collisions", delta.failed_attempts),
+                           ("switch rollbacks", delta.switch_rollbacks),
+                           ("rollback steps", delta.rollback_steps),
+                           ("switch aborts", delta.switch_aborts),
+                           ("faults injected", delta.faults_injected)]),
     ]
     for name, rows in groups:
         shown = [(label, v) for label, v in rows if v]
@@ -182,6 +214,10 @@ def format_report(delta: MetricsSnapshot, title: str = "Metrics") -> str:
             lines.append(f"    {label:<18}{v:>12}")
     if delta.mmu_batches:
         lines.append(f"  avg batch size    {delta.avg_batch_size:14.1f}")
+    if delta.retry_histogram:
+        dist = ", ".join(f"{k}x{v}"
+                         for k, v in sorted(delta.retry_histogram.items()))
+        lines.append(f"  retry histogram   {dist:>14}")
     if delta.tlb_hits + delta.tlb_misses:
         lines.append(f"  TLB hit rate      {delta.tlb_hit_rate:14.1%}")
     if delta.cache_hits + delta.cache_misses:

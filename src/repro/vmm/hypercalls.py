@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Optional
 
+from repro import faults
 from repro.errors import HypercallError
 from repro.params import PAGE_SIZE
 
@@ -46,6 +47,11 @@ def mmu_update(vmm: "Hypervisor", cpu: "Cpu", domain: "Domain",
     against the page-info table before being applied.  Charged at the
     *batched* per-PTE rate unless the caller overrides (the unbatched
     ``update_va_mapping`` path costs more per entry)."""
+    if faults.fire(faults.MMU_UPDATE_TRANSIENT, cpu_id=cpu.cpu_id):
+        # rejected before any entry is applied: the batch is all-or-nothing
+        # from the guest's point of view, so a transient refusal is safe to
+        # retry and corrupts nothing
+        raise HypercallError("injected: transient mmu_update refusal")
     batched = per_pte_cycles is None
     rate = cpu.cost.cyc_mmu_update_batched if batched else per_pte_cycles
     applied = 0

@@ -1,0 +1,161 @@
+"""The switch-crash matrix: every registered fault site × direction × CPU
+topology.
+
+For each site the matrix proves the §4.3 dependability claim twice over:
+
+- **persistent fault** — the switch terminally aborts
+  (:class:`~repro.errors.SwitchAborted`) and the kernel is bit-for-bit back
+  in its pre-switch mode: VO pointer, VMM activation, segment DPLs, IDT
+  ownership, pinned-frame set, registered address spaces, refcounts.  The
+  next un-faulted switch then commits cleanly and the kernel still runs
+  workloads.
+- **single transient fault** — the engine rolls back, backs off, retries,
+  and commits on its own; the caller never sees the fault.
+
+``smp.ipi-delayed`` is the one latency-only site: the switch *commits*
+under it (a late IPI stretches the gather; it corrupts nothing), which the
+matrix asserts instead of a rollback.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Machine, Mercury, faults, small_config
+from repro.core.invariants import check_all
+from repro.core.mercury import Mode
+from repro.errors import SwitchAborted
+
+SITE_NAMES = [s.name for s in faults.SWITCH_SITES]
+DIRECTIONS = ["attach", "detach"]
+TOPOLOGIES = [1, 2]
+
+
+def _stack(ncpus: int) -> Mercury:
+    mercury = Mercury(Machine(small_config(num_cpus=ncpus)))
+    mercury.create_kernel(image_pages=16)
+    return mercury
+
+
+def _fingerprint(mercury: Mercury) -> dict:
+    """Everything a half-committed switch could corrupt."""
+    kernel = mercury.kernel
+    domain = mercury.domain
+    return {
+        "mode": mercury.mode,
+        "vo": id(kernel.vo),
+        "vo_refcount": kernel.vo.refcount,
+        "vmm_active": mercury.vmm.active,
+        "segment_dpl": kernel.vo.data.kernel_segment_dpl,
+        "gdt_dpls": {c.cpu_id: {sel: d.dpl for sel, d in c.gdt.items()}
+                     for c in mercury.machine.cpus},
+        "idt_owners": {c.cpu_id: getattr(c.idt_base, "owner", None)
+                       for c in mercury.machine.cpus},
+        "pinned": set(mercury.vmm.page_info.pinned),
+        "registered_aspaces": (set(id(a) for a in domain.aspaces)
+                               if domain is not None else set()),
+        "interrupts": {c.cpu_id: c.interrupts_enabled
+                       for c in mercury.machine.cpus},
+    }
+
+
+def _switch(mercury: Mercury, direction: str):
+    return mercury.attach() if direction == "attach" else mercury.detach()
+
+
+def _smoke(mercury: Mercury) -> None:
+    """The kernel must still run real work after the recovery."""
+    kernel = mercury.kernel
+    cpu = mercury.machine.boot_cpu
+    pid = kernel.syscall(cpu, "fork")
+    kernel.run_and_reap(cpu, kernel.procs.get(pid))
+    assert check_all(mercury) == []
+
+
+def _prepare(ncpus: int, direction: str, site_name: str) -> Mercury:
+    spec = faults.site(site_name)
+    if spec.smp_only and ncpus == 1:
+        pytest.skip("site only exists on SMP machines")
+    mercury = _stack(ncpus)
+    if direction == "detach":
+        assert mercury.attach() is not None
+    return mercury
+
+
+@pytest.mark.parametrize("ncpus", TOPOLOGIES, ids=["up", "smp"])
+@pytest.mark.parametrize("direction", DIRECTIONS)
+@pytest.mark.parametrize("site_name", SITE_NAMES)
+def test_persistent_fault_aborts_and_rolls_back(site_name, direction, ncpus):
+    mercury = _prepare(ncpus, direction, site_name)
+    engine = mercury.engine
+    start_mode = mercury.mode
+    before = _fingerprint(mercury)
+
+    plan = faults.FaultPlan()
+    plan.arm(site_name, times=None)
+    latency_only = site_name == faults.IPI_DELAYED
+    with faults.injected(plan):
+        if latency_only:
+            rec = _switch(mercury, direction)
+            assert rec is not None
+            assert mercury.mode is not start_mode
+        else:
+            with pytest.raises(SwitchAborted) as ei:
+                _switch(mercury, direction)
+            assert ei.value.retries == engine.max_retries
+    assert plan.injected >= 1
+
+    if not latency_only:
+        # transactionally back where we started
+        assert mercury.mode is start_mode
+        assert _fingerprint(mercury) == before
+        assert engine.switch_aborts == 1
+        assert engine.switch_rollbacks >= 1
+    assert check_all(mercury) == []
+
+    # the un-faulted switch away from the current mode commits cleanly
+    follow_up = direction
+    if latency_only:  # already switched; prove the way back works instead
+        follow_up = "detach" if direction == "attach" else "attach"
+    rec = _switch(mercury, follow_up)
+    assert rec is not None
+    assert check_all(mercury) == []
+    _smoke(mercury)
+
+
+@pytest.mark.parametrize("ncpus", TOPOLOGIES, ids=["up", "smp"])
+@pytest.mark.parametrize("direction", DIRECTIONS)
+@pytest.mark.parametrize("site_name", SITE_NAMES)
+def test_single_transient_fault_recovers_unattended(site_name, direction,
+                                                    ncpus):
+    mercury = _prepare(ncpus, direction, site_name)
+    engine = mercury.engine
+    start_mode = mercury.mode
+
+    plan = faults.FaultPlan()
+    plan.arm(site_name, times=1)
+    with faults.injected(plan):
+        rec = _switch(mercury, direction)
+
+    assert rec is not None
+    assert mercury.mode is not start_mode
+    assert plan.injected == 1
+    if site_name == faults.IPI_DELAYED:
+        assert rec.retries == 0  # committed despite the late IPI
+    elif site_name == faults.REFCOUNT_STUCK:
+        assert rec.retries >= 1
+        assert rec.rollbacks == 0  # refused at the gate, nothing unwound
+    else:
+        assert rec.retries >= 1
+        assert rec.rollbacks >= 1
+        assert engine.switch_rollbacks >= 1
+    assert engine.switch_aborts == 0
+    assert check_all(mercury) == []
+    _smoke(mercury)
+
+
+def test_matrix_covers_every_registered_switch_site():
+    """The matrix parametrization is derived from the registry, so a new
+    site is automatically matrix-tested — this guards the derivation."""
+    assert set(SITE_NAMES) == {s.name for s in faults.SWITCH_SITES}
+    assert len(SITE_NAMES) >= 7
