@@ -61,7 +61,12 @@ def test_app_suite_wallclock_and_record():
     run_lmbench_suite(num_cpus=1)
     lmbench_s = time.perf_counter() - t0
 
-    result = {
+    # preserve sections other benches own (e.g. the io datapath smoke)
+    try:
+        result = json.loads(RESULT_FILE.read_text())
+    except (OSError, ValueError):
+        result = {}
+    result |= {
         "workload": "run_app_suite(num_cpus=1, scale=0.5) and "
                     "run_lmbench_suite(num_cpus=1), all six configs",
         "seed_baseline": {

@@ -67,7 +67,9 @@ class NativeNetDriver:
         self.kernel = kernel
         self.irqs_handled = 0
 
-    def transmit(self, cpu: "Cpu", pkt: Packet) -> None:
+    def transmit(self, cpu: "Cpu", pkt: Packet, more: bool = False) -> None:
+        # ``more`` is the stack's batching hint; a direct-attached NIC has
+        # no doorbell worth deferring, so it is ignored here
         self.kernel.vo.net_transmit(cpu, pkt)
 
     def irq(self, cpu: "Cpu", vector: int) -> None:

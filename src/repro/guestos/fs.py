@@ -187,13 +187,16 @@ class FileSystem:
         cpu.charge(cpu.cost.cyc_fs_op_fixed)
         inode = self._inode(path)
         mine = set(inode.blocks)
-        flushed = []
+        batch = []
         for block, data in self.cache.pop_dirty():
             if block in mine:
-                self.kernel.block_write(cpu, block, data)
-                flushed.append(block)
+                batch.append((block, data))
             else:
                 self.cache.dirty.add(block)  # keep others dirty
+        if batch:
+            # one batched submission — a split-driver ring carries the
+            # whole file's dirty set behind a single doorbell
+            self.kernel.block_write_many(cpu, batch)
         if self.journaled:
             cpu.charge(cpu.cost.cyc_journal_commit)
             self.journal_commits += 1
@@ -217,10 +220,10 @@ class FileSystem:
 
     def sync_all(self, cpu: "Cpu") -> int:
         """Flush every dirty block (periodic writeback / unmount)."""
-        flushed = 0
-        for block, data in self.cache.pop_dirty():
-            self.kernel.block_write(cpu, block, data)
-            flushed += 1
+        batch = list(self.cache.pop_dirty())
+        flushed = len(batch)
+        if batch:
+            self.kernel.block_write_many(cpu, batch)
         if self.journaled and flushed:
             cpu.charge(cpu.cost.cyc_journal_commit)
             self.journal_commits += 1

@@ -220,10 +220,23 @@ class Kernel:
             raise GuestOSError(f"{self.name}: no block driver installed")
         self.block_driver.flush(cpu)
 
-    def net_transmit(self, cpu: "Cpu", pkt: "Packet") -> None:
+    def net_transmit(self, cpu: "Cpu", pkt: "Packet",
+                     more: bool = False) -> None:
+        """Hand one frame to the net driver.  ``more`` is the xmit_more
+        hint: the stack promises another frame (or an explicit
+        :meth:`net_tx_flush`) follows, letting a batching driver defer its
+        doorbell."""
         if self.net_driver is None:
             raise GuestOSError(f"{self.name}: no net driver installed")
-        self.net_driver.transmit(cpu, pkt)
+        self.net_driver.transmit(cpu, pkt, more=more)
+
+    def net_tx_flush(self, cpu: "Cpu") -> None:
+        """Flush any frames a batching driver still has queued."""
+        if self.net_driver is None:
+            return
+        flush = getattr(self.net_driver, "tx_flush", None)
+        if flush is not None:
+            flush(cpu)
 
     def net_rx(self, cpu: "Cpu", pkt: "Packet") -> None:
         """Inbound frame: route to a guest (driver domain) or demux

@@ -89,7 +89,13 @@ class NetworkStack:
             pkt = Packet(src=self.kernel.machine.nic.addr, dst=dst,
                          proto=sock.proto, size_bytes=seg, payload=payload,
                          seq=seq)
-            self.kernel.net_transmit(cpu, pkt)
+            # xmit_more: another segment follows unless this one ends the
+            # transfer or closes the TCP window — batching drivers coalesce
+            # the burst behind one doorbell
+            more = sent + seg < nbytes
+            if sock.proto == "tcp" and in_window + 1 >= TCP_WINDOW:
+                more = False
+            self.kernel.net_transmit(cpu, pkt, more=more)
             sent += seg
             seq += 1
             sock.tx_bytes += seg
@@ -98,6 +104,7 @@ class NetworkStack:
                 # wait for the cumulative ACK before reopening the window
                 self.kernel.drain_events(cpu)
                 in_window = 0
+        self.kernel.net_tx_flush(cpu)
         return sent
 
     def recvfrom(self, cpu: "Cpu", sock_id: int, block: bool = True) -> object:
@@ -210,9 +217,10 @@ class NetworkStack:
             pkt = Packet(src=self.kernel.machine.nic.addr, dst=dst,
                          proto=sock.proto, size_bytes=size,
                          payload=("rdata", seq, size, payload), seq=seq)
-            self.kernel.net_transmit(cpu, pkt)
+            self.kernel.net_transmit(cpu, pkt, more=True)
             sock.tx_bytes += size
             sent += 1
+        self.kernel.net_tx_flush(cpu)
         return sent
 
     def reliable_done(self, sock_id: int, total_segments: int) -> bool:

@@ -2,15 +2,22 @@
 
 DomainU guests have no direct device access: their block and network
 traffic crosses shared-memory rings to the backend drivers in the driver
-domain (§5.2).  The flow per request:
+domain (§5.2).  The batched flow per *burst* of requests:
 
-    frontend: push request on ring -> event-channel notify
-    backend : pop request, map grant, drive the real device, push response
-    frontend: pop response on the completion event
+    frontend: push a batch of requests on the ring
+              -> push_requests_and_check_notify: event-channel notify only
+                 if the backend had advertised itself idle
+    backend : poll loop — mask the channel, drain the batch, push the batch
+              of responses with one coalesced completion notify, unmask,
+              final-check, sleep
+    frontend: consume the response batch on the (single) completion event
 
 Every hop charges ring/copy/event/grant costs on the CPU, which is where
 domainU's I/O overhead in Fig. 3/4 (and its dbench *win*, via the backend
-write cache) comes from.
+write cache) comes from.  The notification-avoidance protocol
+(:mod:`repro.vmm.rings`) is what keeps the event channel quiet while both
+sides are streaming — one notify amortizes over a whole TX queue flush or
+blkfront submission batch instead of firing per packet/block.
 
 :func:`connect_split_block` / :func:`connect_split_net` wire a guest kernel
 to a driver-domain kernel through a hypervisor; Mercury uses the same wiring
@@ -26,7 +33,7 @@ from typing import TYPE_CHECKING, Optional
 from repro.errors import NetworkError, RingError
 from repro.hw.devices import Packet
 from repro.vmm.backend import BlkBack, BlkRingEntry, NetBack, NetRingEntry
-from repro.vmm.rings import IoRing
+from repro.vmm.rings import IoRing, IoStats
 
 if TYPE_CHECKING:
     from repro.guestos.kernel import Kernel
@@ -36,109 +43,252 @@ if TYPE_CHECKING:
 
 class BlkFront:
     """Block frontend: presents the kernel's block-driver interface on top
-    of a request ring to blkback."""
+    of a request ring to blkback, with queued submit/complete semantics."""
 
     def __init__(self, kernel: "Kernel", ring: IoRing, notify_backend,
-                 grant_ref: Optional[int] = None):
+                 grant_ref: Optional[int] = None,
+                 stats: Optional[IoStats] = None):
         self.kernel = kernel
         self.ring = ring
         self.notify_backend = notify_backend
         self.grant_ref = grant_ref
+        self.stats = stats if stats is not None else IoStats()
         self.requests = 0
+        #: entries pushed since the last publish (for per-batch charging)
+        self._batch_n = 0
 
-    def _roundtrip(self, cpu: "Cpu", entry: BlkRingEntry) -> BlkRingEntry:
-        cpu.charge(cpu.cost.cyc_ring_hop)
+    # -- queued submit / complete ---------------------------------------
+
+    def submit(self, cpu: "Cpu", entry: BlkRingEntry) -> None:
+        """Queue one request on the ring without notifying.  The first
+        entry of a batch pays the full ring crossing; later entries ride
+        the same cachelines."""
+        if self.ring.free_request_slots() == 0:
+            # publish what is queued so the backend can drain, then reap
+            self.flush_submissions(cpu)
+            self.complete(cpu)
+            if self.ring.free_request_slots() == 0:
+                raise RingError("blkfront ring wedged: no free slots and "
+                                "no completions arriving")
+        cpu.charge(cpu.cost.cyc_ring_hop if self._batch_n == 0
+                   else cpu.cost.cyc_ring_entry_batched)
         self.ring.push_request(entry)
-        self.notify_backend(cpu)          # backend kick runs synchronously
-        if not self.ring.has_responses():
+        self._batch_n += 1
+
+    def flush_submissions(self, cpu: "Cpu") -> None:
+        """Publish queued requests; notify at most once, and only when the
+        backend had advertised itself idle."""
+        n, self._batch_n = self._batch_n, 0
+        if n == 0:
+            return
+        self.stats.ring_batches += 1
+        self.stats.ring_batched_entries += n
+        if self.ring.push_requests_and_check_notify():
+            self.stats.notifies_sent += 1
+            self.notify_backend(cpu)
+        else:
+            self.stats.notifies_suppressed += 1
+
+    def complete(self, cpu: "Cpu") -> int:
+        """Reap completed responses (the completion-event upcall).  The
+        final check re-advertises the wakeup index before going idle, so
+        the backend's next completion push notifies."""
+        done = 0
+        while True:
+            while self.ring.has_responses():
+                entry = self.ring.pop_response()
+                entry.completed = True
+                self.requests += 1
+                done += 1
+            if not self.ring.final_check_for_responses():
+                return done
+
+    def _await(self, cpu: "Cpu", entry: BlkRingEntry) -> BlkRingEntry:
+        if not entry.completed:
+            self.complete(cpu)
+        if not entry.completed:
             raise RingError("blkback did not respond")
-        self.requests += 1
-        return self.ring.pop_response()
+        return entry
+
+    # -- kernel-facing API ----------------------------------------------
+
+    def _one(self, cpu: "Cpu", entry: BlkRingEntry) -> BlkRingEntry:
+        self.submit(cpu, entry)
+        self.flush_submissions(cpu)
+        return self._await(cpu, entry)
 
     def read_block(self, cpu: "Cpu", block: int) -> object:
         entry = BlkRingEntry(op="read", block=block, grant_ref=self.grant_ref,
                              tag=self.kernel.owner_id)
-        return self._roundtrip(cpu, entry).result
+        return self._one(cpu, entry).result
 
     def write_block(self, cpu: "Cpu", block: int, data: object) -> None:
         entry = BlkRingEntry(op="write", block=block, data=data,
                              grant_ref=self.grant_ref, tag=self.kernel.owner_id)
-        self._roundtrip(cpu, entry)
+        self._one(cpu, entry)
 
     def write_blocks(self, cpu: "Cpu", blocks: list[tuple[int, object]]) -> None:
-        """Batch write: fill the ring, notify once, drain responses."""
+        """Batch write: fill the ring, notify at most once per chunk, reap
+        the response batch.  A backend that stops responding raises
+        :class:`~repro.errors.RingError` instead of silently spinning on a
+        stale ``free_request_slots``."""
         i = 0
         while i < len(blocks):
             chunk = blocks[i:i + self.ring.free_request_slots()]
             if not chunk:
-                raise RingError("blkfront ring wedged")
-            for block, data in chunk:
-                cpu.charge(cpu.cost.cyc_ring_hop)
-                self.ring.push_request(BlkRingEntry(
-                    op="write", block=block, data=data,
-                    grant_ref=self.grant_ref, tag=self.kernel.owner_id))
-            self.notify_backend(cpu)
-            while self.ring.has_responses():
-                self.ring.pop_response()
-                self.requests += 1
+                raise RingError("blkfront ring wedged: no free slots and "
+                                "no completions arriving")
+            entries = [BlkRingEntry(op="write", block=block, data=data,
+                                    grant_ref=self.grant_ref,
+                                    tag=self.kernel.owner_id)
+                       for block, data in chunk]
+            for entry in entries:
+                self.submit(cpu, entry)
+            self.flush_submissions(cpu)
+            self.complete(cpu)
+            if not entries[-1].completed:
+                raise RingError(
+                    "blkback wedged: batch submitted but responses never "
+                    "arrived")
             i += len(chunk)
 
     def flush(self, cpu: "Cpu") -> None:
         entry = BlkRingEntry(op="flush", block=0, tag=self.kernel.owner_id)
-        self._roundtrip(cpu, entry)
+        self._one(cpu, entry)
 
     def irq(self, cpu: "Cpu", vector: int) -> None:
-        """Completion upcall — synchronous round trips consume responses
-        inline, so nothing pends here."""
+        """Completion upcall entry point (legacy vector path)."""
         cpu.charge(cpu.cost.cyc_event_channel)
+        self.complete(cpu)
 
 
 class NetFront:
-    """Network frontend: transmit over the tx ring, receive from the rx
-    ring fed by netback."""
+    """Network frontend: TX queue flushed onto the tx ring with at most one
+    notify per flush; batched RX drain from the rx ring fed by netback."""
 
     def __init__(self, kernel: "Kernel", tx_ring: IoRing, rx_ring: IoRing,
-                 notify_backend):
+                 notify_backend, stats: Optional[IoStats] = None):
         self.kernel = kernel
         self.tx_ring = tx_ring
         self.rx_ring = rx_ring
         self.notify_backend = notify_backend
+        self.stats = stats if stats is not None else IoStats()
         self.tx = 0
         self.rx = 0
+        #: packets queued by ``transmit(..., more=True)`` awaiting a flush
+        self._txq: list[Packet] = []
+        self._flush_timer_armed = False
 
-    def transmit(self, cpu: "Cpu", pkt: Packet) -> None:
-        cpu.charge(cpu.cost.cyc_ring_hop)
+    # -- transmit --------------------------------------------------------
+
+    def transmit(self, cpu: "Cpu", pkt: Packet, more: bool = False) -> None:
+        """Queue one packet.  ``more=True`` is the xmit_more hint from the
+        stack: the caller promises another packet (or a flush) follows, so
+        the doorbell is deferred and the whole burst shares one notify."""
         cpu.charge(cpu.cost.cyc_net_copy_per_kb * max(1, pkt.size_bytes // 1024))
-        # the frontend's notification must wake the driver domain's vcpu
-        cpu.charge(cpu.cost.cyc_guest_sched_latency)
-        self.tx_ring.push_request(NetRingEntry(pkt=pkt))
-        self.notify_backend(cpu)
+        self._txq.append(pkt)
+        self.tx += 1
+        if more and len(self._txq) < cpu.cost.io_tx_coalesce_max:
+            # delayed doorbell: if the promised flush never comes, a short
+            # timer pushes the tail out
+            if not self._flush_timer_armed:
+                self._flush_timer_armed = True
+                self.kernel.machine.clock.schedule(
+                    cpu.cost.cyc_tx_coalesce_delay,
+                    lambda: self._timer_flush(cpu))
+            return
+        self.tx_flush(cpu)
+
+    def _timer_flush(self, cpu: "Cpu") -> None:
+        self._flush_timer_armed = False
+        if self._txq:
+            self.tx_flush(cpu)
+
+    def tx_flush(self, cpu: "Cpu") -> int:
+        """Move the TX queue onto the ring and notify at most once."""
+        flushed = 0
+        n = 0
+        while self._txq:
+            self._reap_tx_completions()
+            if self.tx_ring.free_request_slots() == 0:
+                # publish the partial batch so the backend can drain it
+                self._publish(cpu, n)
+                n = 0
+                self._reap_tx_completions()
+                if self.tx_ring.free_request_slots() == 0:
+                    raise NetworkError(
+                        "netfront tx ring wedged: backend reaps nothing")
+            pkt = self._txq.pop(0)
+            cpu.charge(cpu.cost.cyc_ring_hop if n == 0
+                       else cpu.cost.cyc_ring_entry_batched)
+            self.tx_ring.push_request(NetRingEntry(pkt=pkt))
+            n += 1
+            flushed += 1
+        self._publish(cpu, n)
+        return flushed
+
+    def _publish(self, cpu: "Cpu", n: int) -> None:
+        if n == 0:
+            return
+        self.stats.ring_batches += 1
+        self.stats.ring_batched_entries += n
+        if self.tx_ring.push_requests_and_check_notify():
+            self.stats.notifies_sent += 1
+            # the notification wakes the driver domain's vcpu — paid only
+            # when a notify is actually delivered, not per packet
+            cpu.charge(cpu.cost.cyc_guest_sched_latency)
+            self.notify_backend(cpu)
+        else:
+            self.stats.notifies_suppressed += 1
+
+    def _reap_tx_completions(self) -> None:
         while self.tx_ring.has_responses():
             self.tx_ring.pop_response()
-        self.tx += 1
 
-    def rx_kick(self, cpu: "Cpu") -> int:
-        """Drain the rx ring into the guest's network stack."""
+    # -- receive ---------------------------------------------------------
+
+    def upcall(self, cpu: "Cpu") -> int:
+        """Event-channel upcall: reap TX completions lazily (no wakeup
+        advertised for them — netfront reclaims slots on the next flush)
+        and drain the RX ring."""
+        self._reap_tx_completions()
+        return self.rx_poll(cpu)
+
+    def rx_poll(self, cpu: "Cpu") -> int:
+        """Drain the rx ring into the guest's network stack; re-advertise
+        the wakeup index and re-check before going idle."""
         drained = 0
-        while self.rx_ring.has_requests():
-            entry: NetRingEntry = self.rx_ring.pop_request()
-            self.rx_ring.push_response(entry)
-            self.kernel.net_rx(cpu, entry.pkt)
-            drained += 1
-            self.rx += 1
-        return drained
+        while True:
+            while self.rx_ring.has_requests():
+                entry: NetRingEntry = self.rx_ring.pop_request()
+                cpu.charge(cpu.cost.cyc_ring_hop if drained == 0
+                           else cpu.cost.cyc_ring_entry_batched)
+                self.rx_ring.push_response(entry)
+                self.rx += 1
+                drained += 1
+                self.kernel.net_rx(cpu, entry.pkt)
+            if not self.rx_ring.final_check_for_requests():
+                return drained
+
+    # pre-batching entry point name, used by tests and recovery code
+    rx_kick = rx_poll
 
 
 # ---------------------------------------------------------------------------
 # wiring helpers
 # ---------------------------------------------------------------------------
 
+def _shared_stats(vmm: "Hypervisor") -> IoStats:
+    stats = getattr(vmm, "io_stats", None)
+    return stats if stats is not None else IoStats()
+
+
 def connect_split_block(guest: "Kernel", driver: "Kernel",
                         vmm: "Hypervisor") -> tuple[BlkFront, BlkBack]:
     """Connect ``guest``'s block layer to ``driver``'s disk via a ring."""
     guest_dom = vmm.domains[guest.owner_id]
     driver_dom = vmm.domains[driver.owner_id]
-    cpu = driver.boot_cpu
+    stats = _shared_stats(vmm)
 
     ring = IoRing(size=32)
     front_ch = vmm.events.alloc(guest_dom.domain_id)
@@ -153,15 +303,19 @@ def connect_split_block(guest: "Kernel", driver: "Kernel",
     back = BlkBack(
         vmm, driver_dom, ring,
         notify_frontend=lambda c: vmm.events.send(c, back_ch),
-        submit=lambda c, req: driver.vo.disk_submit(c, req))
-    back_ch.handler = None  # backend notifies frontend; nothing pends
-    front_ch.handler = None
+        submit=lambda c, req: driver.vo.disk_submit(c, req),
+        stats=stats)
+    back.bind_channel(back_ch)
 
     front = BlkFront(
         guest, ring,
-        notify_backend=lambda c: (vmm.events.send(c, front_ch),
-                                  back.kick(c))[0],
-        grant_ref=grant.ref)
+        notify_backend=lambda c: vmm.events.send(c, front_ch),
+        grant_ref=grant.ref, stats=stats)
+
+    # frontend notify -> backend poll; backend notify -> frontend reap
+    back_ch.handler = lambda: back.poll(driver.boot_cpu)
+    front_ch.handler = lambda: front.complete(guest.boot_cpu)
+
     guest.install_block_driver(front)
     return front, back
 
@@ -171,9 +325,15 @@ def connect_split_net(guest: "Kernel", driver: "Kernel", vmm: "Hypervisor",
     """Connect ``guest``'s network stack to ``driver``'s NIC.
 
     ``guest_addr`` is the guest's address on the wire; the driver domain
-    routes inbound frames for it up through netback."""
+    routes inbound frames for it up through netback.  Both notification
+    directions run through :meth:`~repro.vmm.events.EventChannels.send`, so
+    every fire is charged and counted; the guest-bound direction models the
+    domU vcpu wakeup by scheduling the frontend upcall
+    ``cyc_guest_rx_latency`` in the future — inbound bursts landing inside
+    that window coalesce in the rx ring and drain in one batch."""
     guest_dom = vmm.domains[guest.owner_id]
     driver_dom = vmm.domains[driver.owner_id]
+    stats = _shared_stats(vmm)
 
     tx_ring = IoRing(size=64)
     rx_ring = IoRing(size=64)
@@ -184,15 +344,27 @@ def connect_split_net(guest: "Kernel", driver: "Kernel", vmm: "Hypervisor",
     back = NetBack(
         vmm, driver_dom, tx_ring, rx_ring,
         notify_frontend=lambda c: vmm.events.send(c, back_ch),
-        transmit=lambda c, pkt: driver.vo.net_transmit(c, pkt))
+        transmit=lambda c, pkt: driver.vo.net_transmit(c, pkt),
+        stats=stats)
+    back.bind_channel(back_ch)
 
     front = NetFront(
         guest, tx_ring, rx_ring,
-        notify_backend=lambda c: (vmm.events.send(c, front_ch),
-                                  back.kick_tx(c))[0])
+        notify_backend=lambda c: vmm.events.send(c, front_ch),
+        stats=stats)
 
-    # deliver the rx ring into the guest when netback forwards
-    back.notify_frontend = lambda c: front.rx_kick(c)
+    back_ch.handler = lambda: back.poll(driver.boot_cpu)
+
+    cost = guest.machine.config.cost
+
+    def _front_upcall() -> None:
+        # domU vcpu wakeup latency; the deferred drain is what lets an
+        # inbound burst coalesce into one rx_poll pass
+        guest.machine.clock.schedule(
+            cost.cyc_guest_rx_latency,
+            lambda: front.upcall(guest.boot_cpu))
+
+    front_ch.handler = _front_upcall
 
     guest.install_net_driver(front, addr=guest_addr)
     driver.route_table[guest_addr] = lambda c, pkt: back.forward_rx(c, pkt)

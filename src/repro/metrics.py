@@ -51,6 +51,13 @@ class MetricsSnapshot:
     world_switches: int = 0
     mmu_batches: int = 0
     mmu_batched_updates: int = 0
+    # split-driver datapath (§5.2 notification avoidance)
+    io_notifies_sent: int = 0
+    io_notifies_suppressed: int = 0
+    io_ring_batches: int = 0
+    io_ring_batched_entries: int = 0
+    io_rx_dropped: int = 0
+    events_coalesced: int = 0
     # mercury
     mode_switches: int = 0
     vo_entries: int = 0
@@ -89,6 +96,16 @@ class MetricsSnapshot:
     def avg_batch_size(self) -> float:
         return (self.mmu_batched_updates / self.mmu_batches
                 if self.mmu_batches else 0.0)
+
+    @property
+    def avg_io_batch_size(self) -> float:
+        return (self.io_ring_batched_entries / self.io_ring_batches
+                if self.io_ring_batches else 0.0)
+
+    @property
+    def notify_suppression_ratio(self) -> float:
+        total = self.io_notifies_sent + self.io_notifies_suppressed
+        return self.io_notifies_suppressed / total if total else 0.0
 
     @property
     def elapsed_us(self) -> float:
@@ -146,6 +163,15 @@ class MetricsCollector:
             snap.traps_emulated = self.vmm.traps_emulated
             snap.mmu_batches = self.vmm.mmu_batches
             snap.mmu_batched_updates = self.vmm.mmu_batched_updates
+            io = getattr(self.vmm, "io_stats", None)
+            if io is not None:
+                snap.io_notifies_sent = io.notifies_sent
+                snap.io_notifies_suppressed = io.notifies_suppressed
+                snap.io_ring_batches = io.ring_batches
+                snap.io_ring_batched_entries = io.ring_batched_entries
+                snap.io_rx_dropped = io.rx_dropped
+            if self.vmm.events is not None:
+                snap.events_coalesced = self.vmm.events.total_coalesced()
             if self.vmm.page_info is not None:
                 snap.page_validations = self.vmm.page_info.validations
             if self.vmm.scheduler is not None:
@@ -190,7 +216,12 @@ def format_report(delta: MetricsSnapshot, title: str = "Metrics") -> str:
                  ("packets rx", delta.nic_rx_packets),
                  ("cache hits", delta.cache_hits),
                  ("cache misses", delta.cache_misses),
-                 ("journal commits", delta.journal_commits)]),
+                 ("journal commits", delta.journal_commits),
+                 ("ring batches", delta.io_ring_batches),
+                 ("notifies sent", delta.io_notifies_sent),
+                 ("notifies suppressed", delta.io_notifies_suppressed),
+                 ("events coalesced", delta.events_coalesced),
+                 ("rx dropped", delta.io_rx_dropped)]),
         ("virtualization", [("hypercalls", delta.hypercalls),
                             ("traps emulated", delta.traps_emulated),
                             ("page validations", delta.page_validations),
@@ -214,6 +245,11 @@ def format_report(delta: MetricsSnapshot, title: str = "Metrics") -> str:
             lines.append(f"    {label:<18}{v:>12}")
     if delta.mmu_batches:
         lines.append(f"  avg batch size    {delta.avg_batch_size:14.1f}")
+    if delta.io_ring_batches:
+        lines.append(f"  avg io batch      {delta.avg_io_batch_size:14.1f}")
+    if delta.io_notifies_sent + delta.io_notifies_suppressed:
+        lines.append(
+            f"  notify suppression{delta.notify_suppression_ratio:14.1%}")
     if delta.retry_histogram:
         dist = ", ".join(f"{k}x{v}"
                          for k, v in sorted(delta.retry_histogram.items()))

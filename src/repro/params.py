@@ -116,6 +116,32 @@ class CostModel:
     cyc_fs_op_fixed: int = 2300        # VFS path resolution + inode ops
     cyc_journal_commit: int = 9000     # ext3-like journal commit
 
+    # --- split-driver batched datapath (§5.2) -----------------------------
+    cyc_ring_entry_batched: int = 350  # 2nd+ entry moved in one batched ring
+                                       # crossing (the first entry of a batch
+                                       # pays the full cyc_ring_hop: cacheline
+                                       # transfer + index publish; later slots
+                                       # ride the same lines)
+    cyc_netback_per_packet: int = 34_000  # netback's per-packet work: grant
+                                       # map/unmap of the payload page, the
+                                       # RX page flip's mmu update, softirq +
+                                       # bridge hop.  Calibrated (like
+                                       # cyc_mmu_update_batched) so X-U iperf
+                                       # keeps the paper's ~70% loss now that
+                                       # notifications are coalesced: real Xen
+                                       # 2.x already ran the notify-avoiding
+                                       # ring protocol, so its measured loss
+                                       # is per-packet processing, not
+                                       # per-packet wakeups.
+    io_poll_budget: int = 64           # NAPI-style backend poll budget:
+                                       # ring entries drained per loop pass
+                                       # before the channel is re-checked
+    io_tx_coalesce_max: int = 16       # netfront TX queue depth that forces
+                                       # a ring flush even mid-burst
+    cyc_tx_coalesce_delay: int = 9_000 # delayed-doorbell timer (3 µs) that
+                                       # flushes a TX tail left queued by the
+                                       # xmit-more path
+
     # --- physical device timing (nanoseconds, not CPU cycles) ------------
     disk_seek_ns: int = 4_900_000      # average seek, 10k RPM SCSI
     disk_rot_ns: int = 3_000_000       # average rotational delay

@@ -30,6 +30,11 @@ class Channel:
     pending: bool = False
     masked: bool = False
     fires: int = 0
+    #: sends that collapsed into an already-pending event (Xen's pending
+    #: bit is level-triggered: N sends before the upcall runs deliver once)
+    coalesced: int = 0
+    #: total sends addressed at this channel (fires + coalesced)
+    sends: int = 0
 
 
 class EventChannels:
@@ -60,11 +65,20 @@ class EventChannels:
 
     def send(self, cpu: "Cpu", from_ch: Channel) -> None:
         """Notify the peer of ``from_ch``: mark pending and deliver the
-        upcall if unmasked.  Charges the event-channel cost."""
+        upcall if unmasked.  Charges the event-channel cost.
+
+        The pending bit is level-triggered, so repeated sends while the
+        peer has not yet serviced the event coalesce into one delivery —
+        the backend masks its channel while polling and every send in that
+        window collapses (counted in :attr:`Channel.coalesced`)."""
         if from_ch.peer_domain is None:
             raise VMMError(f"channel {from_ch.port} is not connected")
         peer = self.lookup(from_ch.peer_domain, from_ch.peer_port)
         cpu.charge(cpu.cost.cyc_event_channel)
+        peer.sends += 1
+        if peer.pending:
+            peer.coalesced += 1
+            return
         peer.pending = True
         peer.fires += 1
         if not peer.masked and peer.handler is not None:
@@ -80,6 +94,10 @@ class EventChannels:
 
     def mask(self, ch: Channel) -> None:
         ch.masked = True
+
+    def total_coalesced(self) -> int:
+        """Machine-wide count of sends absorbed by the pending bit."""
+        return sum(ch.coalesced for ch in self._channels.values())
 
     def close_domain(self, domain_id: int) -> None:
         """Tear down every channel a dying domain owns."""

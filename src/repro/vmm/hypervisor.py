@@ -28,6 +28,7 @@ from repro.vmm.events import EventChannels
 from repro.vmm.grants import GrantTable
 from repro.vmm.hypercalls import HYPERCALL_TABLE
 from repro.vmm.page_info import PageInfoTable
+from repro.vmm.rings import IoStats
 from repro.vmm.sched_credit import CreditScheduler
 
 if TYPE_CHECKING:
@@ -73,6 +74,9 @@ class Hypervisor:
         #: per-hypercall-name dispatch counts (perf tests assert the
         #: single-PTE update_va_mapping path stays cold)
         self.hypercall_counts: dict[str, int] = {}
+        #: split-driver datapath counters, shared by every frontend/backend
+        #: this hypervisor wires (notification avoidance, §5.2)
+        self.io_stats = IoStats()
 
     # ------------------------------------------------------------------
     # lifecycle

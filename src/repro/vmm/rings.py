@@ -6,6 +6,21 @@ The frontend produces requests and consumes responses; the backend does the
 opposite.  Indices only ever increase; slot positions are ``index % size``.
 Protocol violations (overrun, consuming past the producer) raise
 :class:`~repro.errors.RingError` — property tests hammer these invariants.
+
+Notification avoidance
+----------------------
+Besides the four data indices the ring carries two *event* indices,
+``req_event`` and ``rsp_event``, exactly as Xen's shared ring does.  A
+consumer that is about to go idle advertises the producer index at which it
+wants to be woken (``final_check_for_requests``: set ``req_event =
+req_cons + 1`` *then* re-check for work — that ordering is what makes the
+protocol lost-wakeup free).  A producer that has just published a batch
+only notifies when its push crossed the advertised wakeup index
+(``push_requests_and_check_notify``); while the consumer is known to be
+awake and polling, the event channel stays silent.  This is the
+``RING_PUSH_REQUESTS_AND_CHECK_NOTIFY`` / ``RING_FINAL_CHECK_FOR_*``
+pairing that lets the split-driver datapath amortize one notification over
+a whole batch of requests.
 """
 
 from __future__ import annotations
@@ -24,6 +39,37 @@ class RingCounters:
     req_cons: int = 0
     rsp_prod: int = 0
     rsp_cons: int = 0
+    #: producer index at which the request consumer wants a wakeup
+    #: (Xen: notify iff a push crosses this index)
+    req_event: int = 1
+    #: producer index at which the response consumer wants a wakeup
+    rsp_event: int = 1
+
+
+@dataclass
+class IoStats:
+    """Datapath-wide notification and batching counters.
+
+    One instance is shared by every frontend/backend a hypervisor wires
+    (``vmm.io_stats``); standalone drivers get a private one.  The metrics
+    layer surfaces these as the §5.2 notification-avoidance figures.
+    """
+
+    notifies_sent: int = 0
+    notifies_suppressed: int = 0
+    ring_batches: int = 0
+    ring_batched_entries: int = 0
+    rx_dropped: int = 0
+
+    @property
+    def avg_batch(self) -> float:
+        return (self.ring_batched_entries / self.ring_batches
+                if self.ring_batches else 0.0)
+
+    @property
+    def suppression_ratio(self) -> float:
+        total = self.notifies_sent + self.notifies_suppressed
+        return self.notifies_suppressed / total if total else 0.0
 
 
 class IoRing(Generic[T]):
@@ -36,6 +82,10 @@ class IoRing(Generic[T]):
         self.c = RingCounters()
         self._req: list[Optional[T]] = [None] * size
         self._rsp: list[Optional[T]] = [None] * size
+        #: producer indices already published at the last notify check —
+        #: the ``old`` of Xen's PUSH_AND_CHECK macros
+        self._req_pub = 0
+        self._rsp_pub = 0
 
     # -- frontend side ----------------------------------------------------
 
@@ -81,6 +131,39 @@ class IoRing(Generic[T]):
         self._rsp[self.c.rsp_prod % self.size] = rsp
         self.c.rsp_prod += 1
 
+    # -- notification-avoidance protocol -----------------------------------
+
+    def push_requests_and_check_notify(self) -> bool:
+        """Publish pushed requests; True iff the consumer needs a kick.
+
+        Xen's ``RING_PUSH_REQUESTS_AND_CHECK_NOTIFY``: notify only when the
+        new producer index crossed the consumer's advertised ``req_event``
+        — i.e. the consumer declared itself idle somewhere inside the span
+        this push just published."""
+        old, new = self._req_pub, self.c.req_prod
+        self._req_pub = new
+        return old < self.c.req_event <= new
+
+    def final_check_for_requests(self) -> bool:
+        """Consumer is about to sleep: advertise the wakeup index, *then*
+        re-check.  True means requests slipped in and the consumer must do
+        another pass instead of sleeping (``RING_FINAL_CHECK_FOR_REQUESTS``
+        — the re-check after publishing ``req_event`` is what closes the
+        lost-wakeup window)."""
+        self.c.req_event = self.c.req_cons + 1
+        return self.has_requests()
+
+    def push_responses_and_check_notify(self) -> bool:
+        """Backend twin of :meth:`push_requests_and_check_notify`."""
+        old, new = self._rsp_pub, self.c.rsp_prod
+        self._rsp_pub = new
+        return old < self.c.rsp_event <= new
+
+    def final_check_for_responses(self) -> bool:
+        """Frontend twin of :meth:`final_check_for_requests`."""
+        self.c.rsp_event = self.c.rsp_cons + 1
+        return self.has_responses()
+
     # -- invariants ------------------------------------------------------------
 
     def check_invariants(self) -> None:
@@ -89,6 +172,8 @@ class IoRing(Generic[T]):
             raise RingError(f"index ordering violated: {c}")
         if c.req_prod - c.rsp_cons > self.size:
             raise RingError(f"ring overcommitted: {c}")
+        if not (self._req_pub <= c.req_prod and self._rsp_pub <= c.rsp_prod):
+            raise RingError(f"published past produced: {c}")
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"IoRing(size={self.size}, {self.c})"

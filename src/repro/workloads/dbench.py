@@ -29,12 +29,20 @@ class DbenchResult:
     ops: int
     bytes_moved: int
     elapsed_us: float
+    #: split-driver notification accounting (zero on a native block path)
+    notifies_sent: int = 0
+    notifies_suppressed: int = 0
 
     @property
     def throughput_mb_s(self) -> float:
         if not self.elapsed_us:
             return 0.0
         return (self.bytes_moved / (1024 * 1024)) / (self.elapsed_us / 1e6)
+
+    @property
+    def notify_suppression_ratio(self) -> float:
+        total = self.notifies_sent + self.notifies_suppressed
+        return self.notifies_suppressed / total if total else 0.0
 
 
 def run_dbench(kernel: "Kernel", cpu: "Cpu", clients: int = 4,
@@ -52,6 +60,9 @@ def run_dbench(kernel: "Kernel", cpu: "Cpu", clients: int = 4,
     ops = 0
     write_ops = 0
     bytes_moved = 0
+    io = getattr(getattr(kernel.vo, "vmm", None), "io_stats", None)
+    sent0 = io.notifies_sent if io else 0
+    supp0 = io.notifies_suppressed if io else 0
     t0 = cpu.rdtsc()
 
     def maybe_writeback() -> None:
@@ -91,5 +102,8 @@ def run_dbench(kernel: "Kernel", cpu: "Cpu", clients: int = 4,
             kernel.syscall(cpu, "close", fd)
             ops += 1
     elapsed = cpu.cost.us(cpu.rdtsc() - t0)
-    return DbenchResult(clients=clients, ops=ops, bytes_moved=bytes_moved,
-                        elapsed_us=elapsed)
+    return DbenchResult(
+        clients=clients, ops=ops, bytes_moved=bytes_moved,
+        elapsed_us=elapsed,
+        notifies_sent=(io.notifies_sent - sent0) if io else 0,
+        notifies_suppressed=(io.notifies_suppressed - supp0) if io else 0)

@@ -25,12 +25,30 @@ class IperfResult:
     proto: str
     bytes_sent: int
     elapsed_us: float
+    #: split-driver notification accounting over the run (zero when the
+    #: sender drives the NIC natively — no rings on the path)
+    packets_sent: int = 0
+    notifies_sent: int = 0
+    notifies_suppressed: int = 0
 
     @property
     def mbit_s(self) -> float:
         if not self.elapsed_us:
             return 0.0
         return (self.bytes_sent * 8) / self.elapsed_us  # bits/µs == Mbit/s
+
+    @property
+    def notifies_per_packet(self) -> float:
+        """Amortized event-channel fires per transmitted segment — the
+        §5.2 notification-avoidance figure of merit."""
+        if not self.packets_sent:
+            return 0.0
+        return self.notifies_sent / self.packets_sent
+
+
+def _io_stats(kernel: "Kernel"):
+    """The shared datapath counters of the kernel's hypervisor, if any."""
+    return getattr(getattr(kernel.vo, "vmm", None), "io_stats", None)
 
 
 def run_iperf(sender: "Kernel", receiver: "Kernel", proto: str = "tcp",
@@ -43,14 +61,19 @@ def run_iperf(sender: "Kernel", receiver: "Kernel", proto: str = "tcp",
 
     dst = receiver.net_addr
     clock = sender.machine.clock
+    io = _io_stats(sender)
+    sent0 = io.notifies_sent if io else 0
+    supp0 = io.notifies_suppressed if io else 0
     t0 = clock.cycles
 
     sent = 0
+    packets = 0
     window_bytes = TCP_WINDOW * MSS
     while sent < total_bytes:
         chunk = min(window_bytes, total_bytes - sent)
         sender.syscall(s_cpu, "sendto", s_sock, dst, chunk)
         sent += chunk
+        packets += (chunk + MSS - 1) // MSS
         # the wire delivers, the receiver's machine services its NIC
         _drain_both(sender, receiver)
         if proto == "tcp":
@@ -59,7 +82,11 @@ def run_iperf(sender: "Kernel", receiver: "Kernel", proto: str = "tcp",
             clock.advance(int(s_cpu.cost.cycles_from_ns(rtt_ns)))
             _drain_both(sender, receiver)
     elapsed = s_cpu.cost.us(clock.cycles - t0)
-    return IperfResult(proto=proto, bytes_sent=sent, elapsed_us=elapsed)
+    return IperfResult(
+        proto=proto, bytes_sent=sent, elapsed_us=elapsed,
+        packets_sent=packets,
+        notifies_sent=(io.notifies_sent - sent0) if io else 0,
+        notifies_suppressed=(io.notifies_suppressed - supp0) if io else 0)
 
 
 def run_ping(sender: "Kernel", receiver: "Kernel", count: int = 5) -> float:

@@ -28,6 +28,9 @@ class OsdbResult:
     elapsed_us: float
     cache_hits: int
     cache_misses: int
+    #: split-driver notification accounting (zero on a native block path)
+    notifies_sent: int = 0
+    notifies_suppressed: int = 0
 
     @property
     def queries_per_second(self) -> float:
@@ -73,6 +76,9 @@ def run_osdb_ir(kernel: "Kernel", cpu: "Cpu", rows: int = 4096,
 
     hits0 = kernel.fs.cache.hits
     misses0 = kernel.fs.cache.misses
+    io = getattr(getattr(kernel.vo, "vmm", None), "io_stats", None)
+    sent0 = io.notifies_sent if io else 0
+    supp0 = io.notifies_suppressed if io else 0
     state = seed
     t0 = cpu.rdtsc()
     for _ in range(queries):
@@ -93,9 +99,12 @@ def run_osdb_ir(kernel: "Kernel", cpu: "Cpu", rows: int = 4096,
 
     kernel.syscall(cpu, "close", heap_fd)
     kernel.syscall(cpu, "close", index_fd)
-    return OsdbResult(queries=queries, elapsed_us=elapsed,
-                      cache_hits=kernel.fs.cache.hits - hits0,
-                      cache_misses=kernel.fs.cache.misses - misses0)
+    return OsdbResult(
+        queries=queries, elapsed_us=elapsed,
+        cache_hits=kernel.fs.cache.hits - hits0,
+        cache_misses=kernel.fs.cache.misses - misses0,
+        notifies_sent=(io.notifies_sent - sent0) if io else 0,
+        notifies_suppressed=(io.notifies_suppressed - supp0) if io else 0)
 
 
 def run_osdb_mixed(kernel: "Kernel", cpu: "Cpu", rows: int = 4096,

@@ -4,10 +4,14 @@ import pytest
 
 from repro import Machine, small_config
 from repro.core.virtual_vo import VirtualVO
+from repro.errors import RingError
 from repro.guestos.fs import BLOCK_SIZE
 from repro.guestos.kernel import Kernel
-from repro.guestos.splitio import connect_split_block, connect_split_net
+from repro.guestos.splitio import (BlkFront, NetFront, connect_split_block,
+                                   connect_split_net)
+from repro.hw.devices import Packet
 from repro.vmm.hypervisor import Hypervisor
+from repro.vmm.rings import IoRing
 
 
 @pytest.fixture
@@ -84,13 +88,13 @@ def test_guest_tx_reaches_wire(xen_pair):
 
 def test_inbound_for_guest_routed_through_netback(xen_pair):
     machine, vmm, k0, kU, _, _, front_n, back_n = xen_pair
-    from repro.hw.devices import Packet
     cpu = machine.boot_cpu
     kU.syscall(cpu, "socket", "udp")
     pkt = Packet("10.0.0.250", "10.0.0.77:u", "udp", 700, payload="inbound")
-    # the frame arrives at the physical NIC; dom0 routes it up
+    # the frame arrives at the physical NIC; dom0 routes it up, and the
+    # guest's vcpu wakeup (a scheduled event) drains the rx ring
     machine.nic.deliver(pkt)
-    machine.poll()
+    machine.run_until_idle()
     assert back_n.rx_forwarded == 1
     got = kU.syscall(cpu, "recvfrom", 1, False)
     assert got == "inbound"
@@ -117,4 +121,148 @@ def test_guest_io_costs_more_than_driver_domain(xen_pair):
     kU.syscall(cpu, "fsync", fdU)
     domU_flush = cpu.rdtsc() - t0
     assert domU_flush > cpu.cost.cyc_ring_hop  # the ring tax is visible
+    assert kU.fs.cache.dirty == set()
+
+
+# ---------------------------------------------------------------------------
+# batched datapath: notification coalescing and wedge guards
+# ---------------------------------------------------------------------------
+
+def _guest_channel_sends(vmm, domain_id=1):
+    return sum(ch.sends for (dom, _), ch in vmm.events._channels.items()
+               if dom == domain_id)
+
+
+def test_rx_notification_rides_the_event_channel(xen_pair):
+    """The guest-bound rx kick must go through ``vmm.events.send`` —
+    charged, counted, and coalescible — never a direct frontend call."""
+    machine, vmm, k0, kU, _, _, front_n, back_n = xen_pair
+    cpu = machine.boot_cpu
+    kU.syscall(cpu, "socket", "udp")
+    sends0 = _guest_channel_sends(vmm)
+    machine.nic.deliver(Packet("10.0.0.250", "10.0.0.77:u", "udp", 700,
+                               payload="ding"))
+    machine.run_until_idle()
+    assert front_n.rx == 1
+    assert _guest_channel_sends(vmm) - sends0 >= 1
+
+
+def test_rx_burst_coalesces_into_one_upcall(xen_pair):
+    """Frames landing inside the guest's wakeup window share the pending
+    event and drain in a single rx_poll pass."""
+    machine, vmm, k0, kU, _, _, front_n, back_n = xen_pair
+    cpu = machine.boot_cpu
+    kU.syscall(cpu, "socket", "udp")
+    stats = vmm.io_stats
+    sent0, supp0 = stats.notifies_sent, stats.notifies_suppressed
+    for i in range(6):
+        machine.nic.deliver(Packet("10.0.0.250", "10.0.0.77:u", "udp", 700,
+                                   payload=f"p{i}"))
+    machine.run_until_idle()
+    assert back_n.rx_forwarded == 6
+    assert front_n.rx == 6
+    assert stats.notifies_sent - sent0 <= 2  # not one notify per frame
+    assert stats.notifies_suppressed - supp0 >= 4
+
+
+def test_tx_burst_shares_one_doorbell(xen_pair):
+    """A multi-segment send rides the xmit_more hint: the whole burst is
+    queued, flushed onto the ring once, and rings the doorbell once."""
+    machine, vmm, k0, kU, _, _, front_n, back_n = xen_pair
+    from repro.bench.configs import BareMetalVO
+    peer_machine = Machine(small_config(), clock=machine.clock, name="peer")
+    peer_kernel = Kernel(peer_machine, BareMetalVO(peer_machine),
+                         owner_id=0, name="peer")
+    peer_kernel.boot()
+    machine.link_to(peer_machine)
+    cpu = machine.boot_cpu
+    stats = vmm.io_stats
+    sock = kU.syscall(cpu, "socket", "udp")
+    sent0 = stats.notifies_sent
+    kU.syscall(cpu, "sendto", sock, "10.0.0.250", 8 * 1448)  # 8 segments
+    machine.run_until_idle()
+    assert back_n.tx_handled == 8
+    # one tx doorbell + at most one coalesced completion notify — not 8
+    assert stats.notifies_sent - sent0 <= 2
+
+
+def test_tx_sched_latency_paid_per_notify_not_per_packet(xen_pair):
+    """The driver-domain wakeup cost is charged only when a doorbell is
+    actually delivered; queued packets in the same flush ride for free."""
+    machine, vmm, k0, kU, *_ = xen_pair
+    cpu = machine.boot_cpu
+    notified = []
+    tx, rx = IoRing(size=64), IoRing(size=64)
+    front = NetFront(kU, tx, rx, notify_backend=lambda c: notified.append(1))
+    pkts = [Packet("a", "b", "udp", 512, payload=i) for i in range(6)]
+    t0 = cpu.rdtsc()
+    for pkt in pkts[:-1]:
+        front.transmit(cpu, pkt, more=True)
+    front.transmit(cpu, pkts[-1], more=False)
+    cost = cpu.cost
+    expected = (6 * cost.cyc_net_copy_per_kb           # per-packet copy
+                + cost.cyc_ring_hop                    # first ring entry
+                + 5 * cost.cyc_ring_entry_batched      # batched entries
+                + cost.cyc_guest_sched_latency)        # ONE wakeup
+    assert cpu.rdtsc() - t0 == expected
+    assert notified == [1]
+    assert front.stats.ring_batches == 1
+    assert front.stats.ring_batched_entries == 6
+
+
+def test_tx_coalesce_timer_flushes_a_stranded_tail(xen_pair):
+    """A burst that promises ``more`` but never flushes is pushed out by
+    the delayed-doorbell timer — the hint can defer, not lose, packets."""
+    machine, vmm, k0, kU, *_ = xen_pair
+    cpu = machine.boot_cpu
+    notified = []
+    tx, rx = IoRing(size=64), IoRing(size=64)
+    front = NetFront(kU, tx, rx, notify_backend=lambda c: notified.append(1))
+    front.transmit(cpu, Packet("a", "b", "udp", 256, payload="tail"),
+                   more=True)
+    assert tx.has_requests() is False  # still queued, not published
+    machine.run_until_idle()
+    assert tx.has_requests()  # the timer flushed it onto the ring
+    assert notified == [1]
+
+
+def test_blkfront_wedged_backend_raises(xen_pair):
+    """Satellite guard: a backend that never responds must surface as a
+    RingError, not an infinite retry loop on stale free_request_slots."""
+    machine, vmm, k0, kU, *_ = xen_pair
+    cpu = machine.boot_cpu
+    ring = IoRing(size=4)
+    front = BlkFront(kU, ring, notify_backend=lambda c: None)
+    with pytest.raises(RingError, match="wedged"):
+        front.write_blocks(cpu, [(i, f"d{i}") for i in range(3)])
+
+
+def test_blkfront_single_write_wedged_backend_raises(xen_pair):
+    machine, vmm, k0, kU, *_ = xen_pair
+    cpu = machine.boot_cpu
+    ring = IoRing(size=4)
+    front = BlkFront(kU, ring, notify_backend=lambda c: None)
+    with pytest.raises(RingError, match="did not respond"):
+        front.write_block(cpu, 7, "data")
+
+
+def test_fsync_batch_notifies_once(xen_pair):
+    """An fsync of a multi-block file submits the whole dirty set as one
+    ring batch with at most one doorbell."""
+    machine, vmm, k0, kU, front_b, back_b, *_ = xen_pair
+    cpu = machine.boot_cpu
+    stats = vmm.io_stats
+    fd = kU.syscall(cpu, "open", "/batched", True)
+    for i in range(6):
+        kU.syscall(cpu, "lseek", fd, i * BLOCK_SIZE)
+        kU.syscall(cpu, "write", fd, f"blk{i}", BLOCK_SIZE)
+    sent0, batches0 = stats.notifies_sent, stats.ring_batches
+    entries0 = stats.ring_batched_entries
+    kU.syscall(cpu, "fsync", fd)
+    # the 6 dirty blocks go out as ONE submission batch (plus the barrier
+    # flush op): one doorbell per batch, never one per block
+    assert stats.notifies_sent - sent0 <= 4
+    assert stats.ring_batches - batches0 >= 2
+    assert stats.ring_batched_entries - entries0 >= 12  # 6 reqs + 6 rsps
+    machine.run_until_idle()
     assert kU.fs.cache.dirty == set()

@@ -53,6 +53,47 @@ def test_masked_channel_stays_pending(cpu):
     assert fired == ["b"] and not b.pending
 
 
+def test_sends_while_pending_coalesce(cpu):
+    """The pending bit is level-triggered: N sends before the upcall runs
+    deliver exactly one upcall (§5.2 — this is what makes the backend's
+    masked poll window cheap)."""
+    ev = EventChannels()
+    fired = []
+    a = ev.alloc(0)
+    b = ev.alloc(1, handler=lambda: fired.append("b"))
+    ev.connect(a, b)
+    ev.mask(b)
+    for _ in range(5):
+        ev.send(cpu, a)
+    assert fired == [] and b.pending
+    assert b.sends == 5
+    assert b.fires == 1  # one pending-bit set...
+    assert b.coalesced == 4  # ...absorbed the other four
+    ev.unmask(cpu, b)
+    assert fired == ["b"]  # one delivery for five sends
+    assert ev.total_coalesced() == 4
+
+
+def test_coalesced_send_still_charges_sender(cpu):
+    # the hypercall is paid per send even when the event collapses
+    ev = EventChannels()
+    a, b = ev.alloc(0), ev.alloc(1, handler=lambda: None)
+    ev.connect(a, b)
+    ev.mask(b)
+    t0 = cpu.rdtsc()
+    ev.send(cpu, a)
+    ev.send(cpu, a)
+    assert cpu.rdtsc() - t0 == 2 * cpu.cost.cyc_event_channel
+
+
+def test_stats_zero_on_quiet_channel(cpu):
+    ev = EventChannels()
+    a, b = ev.alloc(0), ev.alloc(1, handler=lambda: None)
+    ev.connect(a, b)
+    assert (b.sends, b.fires, b.coalesced) == (0, 0, 0)
+    assert ev.total_coalesced() == 0
+
+
 def test_send_unconnected_rejected(cpu):
     ev = EventChannels()
     a = ev.alloc(0)

@@ -89,6 +89,106 @@ def test_free_request_slots():
     assert ring.free_request_slots() == 3
 
 
+# ---------------------------------------------------------------------------
+# notification-avoidance protocol (§5.2)
+# ---------------------------------------------------------------------------
+
+def test_first_push_notifies():
+    # req_event starts at 1: a consumer that has never run wants a wakeup
+    # for the very first request
+    ring = IoRing(size=4)
+    ring.push_request("a")
+    assert ring.push_requests_and_check_notify()
+
+
+def test_pushes_while_consumer_awake_are_silent():
+    ring = IoRing(size=8)
+    ring.push_request("a")
+    assert ring.push_requests_and_check_notify()
+    # the consumer drains but stays in its poll loop — no wakeup advertised
+    ring.pop_request()
+    ring.push_request("b")
+    assert not ring.push_requests_and_check_notify()
+
+
+def test_final_check_rearms_notification():
+    ring = IoRing(size=8)
+    ring.push_request("a")
+    assert ring.push_requests_and_check_notify()
+    ring.pop_request()
+    assert not ring.final_check_for_requests()  # idle: sleep is safe
+    ring.push_request("b")
+    assert ring.push_requests_and_check_notify()  # crossed req_event again
+
+
+def test_final_check_catches_request_that_slipped_in():
+    """The lost-wakeup window: a request pushed (and silently published)
+    after the drain but before the sleep must be caught by the re-check."""
+    ring = IoRing(size=8)
+    ring.push_request("a")
+    ring.push_requests_and_check_notify()
+    ring.pop_request()
+    ring.push_request("b")
+    assert not ring.push_requests_and_check_notify()  # producer stays silent
+    assert ring.final_check_for_requests()  # ...so the consumer must re-poll
+
+
+def test_one_notify_amortizes_over_a_batch():
+    ring = IoRing(size=8)
+    for i in range(5):
+        ring.push_request(i)
+    assert ring.push_requests_and_check_notify()  # one notify for five
+    while ring.has_requests():
+        ring.pop_request()
+    assert not ring.final_check_for_requests()
+    for i in range(3):
+        ring.push_request(i)
+    # still one notify for the next batch, however large
+    assert ring.push_requests_and_check_notify()
+
+
+def test_response_side_protocol_is_symmetric():
+    ring = IoRing(size=8)
+    ring.push_request("a")
+    ring.push_requests_and_check_notify()
+    ring.pop_request()
+    ring.push_response("a-done")
+    assert ring.push_responses_and_check_notify()  # rsp_event starts at 1
+    ring.pop_response()
+    assert not ring.final_check_for_responses()
+    # frontend asleep; the next completion push must notify again
+    ring.push_request("b")
+    ring.push_requests_and_check_notify()
+    ring.pop_request()
+    ring.push_response("b-done")
+    assert ring.push_responses_and_check_notify()
+
+
+def test_partial_publish_notifies_once():
+    # push 3, publish, push 2 more, publish: the second publish is silent
+    # because the first already crossed req_event
+    ring = IoRing(size=8)
+    for i in range(3):
+        ring.push_request(i)
+    assert ring.push_requests_and_check_notify()
+    for i in range(2):
+        ring.push_request(i)
+    assert not ring.push_requests_and_check_notify()
+
+
+def test_event_indices_keep_invariants():
+    ring = IoRing(size=4)
+    ring.push_request("a")
+    ring.push_requests_and_check_notify()
+    ring.pop_request()
+    ring.final_check_for_requests()
+    ring.push_response("ok")
+    ring.push_responses_and_check_notify()
+    ring.pop_response()
+    ring.final_check_for_responses()
+    ring.check_invariants()
+
+
 @settings(max_examples=60, deadline=None)
 @given(st.lists(st.sampled_from(["req", "take", "resp", "ack"]), max_size=120))
 def test_property_protocol_invariants_hold(ops):
