@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Where do the ~0.2 ms of a mode switch go?  (§4.3 / §7.4)
+
+Attaches and detaches the VMM under the cycle-domain tracer, then prints
+the reconstructed span timeline and the per-phase latency breakdown — the
+decomposition behind the paper's headline switch-latency figure.  Also
+demonstrates the two export paths: Chrome ``trace_event`` JSON (load in
+chrome://tracing or Perfetto) and the canonical form the golden-trace
+regression tests diff.
+
+Run:  python examples/trace_timeline.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import Machine, Mercury, paper_config, trace
+
+
+def main() -> None:
+    machine = Machine(paper_config(num_cpus=2))
+    mercury = Mercury(machine)
+    kernel = mercury.create_kernel(name="traced-linux")
+    cpu = machine.boot_cpu
+    for _ in range(8):  # a live process population so transfer has work
+        kernel.syscall(cpu, "fork")
+    freq = machine.config.cost.freq_mhz
+
+    with trace.tracing(machine) as tracer:
+        mercury.attach()
+        mercury.detach()
+
+    events = tracer.events()
+    assert trace.validate(events, dropped=tracer.dropped) == []
+    print(f"traced one attach/detach round-trip: {len(events)} events, "
+          f"{tracer.dropped} dropped")
+    print()
+    print("timeline:")
+    print(trace.format_timeline(events, freq_mhz=freq))
+    print()
+    print("per-phase breakdown:")
+    print(trace.format_phase_table(
+        trace.phase_summary(events, names=trace.SWITCH_PHASES),
+        freq_mhz=freq))
+
+    out = Path(tempfile.gettempdir()) / "mercury_switch_trace.json"
+    trace.write_chrome_trace(out, events, freq_mhz=freq)
+    print()
+    print(f"Chrome trace_event JSON written to {out}")
+
+
+if __name__ == "__main__":
+    main()

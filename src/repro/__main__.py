@@ -5,9 +5,12 @@ Targets:
 - ``table1`` / ``table2`` — the lmbench tables (UP / SMP)
 - ``fig3`` / ``fig4``     — the application-benchmark figures (UP / SMP)
 - ``switch``              — the §7.4 mode-switch measurement
+- ``trace``               — a traced switch round-trip: text timeline +
+  per-phase latency breakdown (``--trace-json FILE`` for chrome://tracing)
 - ``all``                 — everything, in paper order
 
-Options: ``--quick`` (N-L and X-0 columns only), ``--mem-kb N``.
+Options: ``--quick`` (N-L and X-0 columns only), ``--mem-kb N``,
+``--cpus N`` (trace target), ``--trace-json FILE``.
 """
 
 from __future__ import annotations
@@ -16,7 +19,7 @@ import argparse
 import dataclasses
 import sys
 
-from repro import Machine, Mercury, MachineConfig
+from repro import Machine, Mercury, MachineConfig, trace
 from repro.bench.configs import CONFIG_KEYS
 from repro.bench.report import (format_lmbench_table, format_relative_figure,
                                 format_switch_times)
@@ -24,7 +27,7 @@ from repro.bench.runner import (relative_to_native, run_app_suite,
                                 run_lmbench_suite)
 from repro.core.switch import Direction
 
-TARGETS = ("table1", "table2", "fig3", "fig4", "switch", "all")
+TARGETS = ("table1", "table2", "fig3", "fig4", "switch", "trace", "all")
 
 
 def _measure_switch(config) -> tuple[float, float]:
@@ -41,6 +44,37 @@ def _measure_switch(config) -> tuple[float, float]:
             mercury.mean_switch_us(Direction.TO_NATIVE))
 
 
+def _trace_switch(config, num_cpus: int, json_path: str | None) -> None:
+    """Run one attach/detach round-trip under the tracer and print the
+    timeline plus the §7.4 per-phase breakdown."""
+    cfg = dataclasses.replace(config, num_cpus=num_cpus)
+    machine = Machine(cfg)
+    mercury = Mercury(machine)
+    kernel = mercury.create_kernel(image_pages=64)
+    cpu = machine.boot_cpu
+    for _ in range(8):
+        kernel.syscall(cpu, "fork")
+    with trace.tracing(machine) as tracer:
+        mercury.attach()
+        mercury.detach()
+    events = tracer.events()
+    freq = cfg.cost.freq_mhz
+
+    print(f"Mode-switch trace — {num_cpus} CPU(s), {len(events)} events "
+          f"({tracer.dropped} dropped)")
+    print()
+    print(trace.format_timeline(events, freq_mhz=freq))
+    print()
+    print("Per-phase switch latency (§7.4 decomposition):")
+    print(trace.format_phase_table(
+        trace.phase_summary(events, names=trace.SWITCH_PHASES),
+        freq_mhz=freq))
+    if json_path:
+        trace.write_chrome_trace(json_path, events, freq_mhz=freq)
+        print(f"\nwrote Chrome trace_event JSON to {json_path} "
+              f"(load in chrome://tracing or Perfetto)")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -50,6 +84,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="N-L and X-0 columns only")
     parser.add_argument("--mem-kb", type=int, default=262_144,
                         help="simulated memory per machine (default 262144)")
+    parser.add_argument("--cpus", type=int, default=1,
+                        help="CPU count for the trace target (default 1)")
+    parser.add_argument("--trace-json", metavar="FILE", default=None,
+                        help="also write the trace target's events as "
+                             "Chrome trace_event JSON")
     args = parser.parse_args(argv)
 
     keys = ("N-L", "X-0") if args.quick else CONFIG_KEYS
@@ -83,6 +122,9 @@ def main(argv: list[str] | None = None) -> int:
     if want("switch"):
         to_v, to_n = _measure_switch(config)
         print(format_switch_times(to_v, to_n))
+        print()
+    if args.target == "trace":  # deliberately not part of "all"
+        _trace_switch(config, num_cpus=args.cpus, json_path=args.trace_json)
         print()
     return 0
 

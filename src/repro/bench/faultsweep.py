@@ -20,6 +20,7 @@ from repro import Machine, Mercury, faults, small_config
 from repro.core.invariants import check_all
 from repro.core.mercury import Mode
 from repro.errors import SwitchAborted
+from repro.metrics import MetricsCollector
 
 #: probability that an armed fault is persistent (never clears, so the
 #: switch must terminally abort) rather than single-shot
@@ -66,7 +67,8 @@ def run_fault_sweep(rates=DEFAULT_RATES, rounds: int = 24,
         rng = random.Random(f"faultsweep:{seed}:{rate}")
         mercury = Mercury(Machine(small_config(mem_kb=32768)))
         mercury.create_kernel(image_pages=8)
-        engine = mercury.engine
+        collector = MetricsCollector(mercury.machine, kernel=mercury.kernel,
+                                     mercury=mercury)
         commits = aborts = injected = 0
         for _ in range(rounds):
             _workload_tick(mercury, rng)
@@ -84,15 +86,17 @@ def run_fault_sweep(rates=DEFAULT_RATES, rounds: int = 24,
                     aborts += 1
             injected += plan.injected
         freq = mercury.machine.config.cost.freq_mhz
-        mean_us = (sum(r.us(freq) for r in engine.records)
-                   / len(engine.records)) if engine.records else 0.0
+        records = mercury.switch_records
+        mean_us = (sum(r.us(freq) for r in records)
+                   / len(records)) if records else 0.0
+        snap = collector.snapshot()
         points.append(SweepPoint(
             fault_rate=rate,
             switch_attempts=rounds,
             commits=commits,
             aborts=aborts,
-            rollbacks=engine.switch_rollbacks,
-            retries=engine.total_retries + engine.pending_retries,
+            rollbacks=snap.switch_rollbacks,
+            retries=snap.switch_retries + snap.pending_retries,
             faults_injected=injected,
             invariant_violations=len(check_all(mercury)),
             mean_switch_us=round(mean_us, 2),

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro import faults
+from repro import faults, trace
 from repro.errors import ConsistencyViolation, ReloadFailure
 from repro.hw.cpu import PrivilegeLevel
 
@@ -36,14 +36,18 @@ def _reload_own_registers(cpu: "Cpu", kernel: "Kernel",
     saved, cpu.pl = cpu.pl, PrivilegeLevel.PL0
     try:
         cpu.load_gdt(cpu.gdt)
+        trace.instant(cpu.cpu_id, "reload.gdt")
         if native_target:
             # native mode: the guest IDT goes live (virtual mode leaves the
             # VMM's forwarding IDT installed by the transfer step)
             cpu.load_idt(kernel.idt)
+            trace.instant(cpu.cpu_id, "reload.idt")
         current = kernel.scheduler.current
         if current is not None:
             cpu.write_cr3(current.aspace.pgd_frame)
+            trace.instant(cpu.cpu_id, "reload.cr3")
         cpu.tlb.flush()
+        trace.instant(cpu.cpu_id, "reload.tlb-flush")
     finally:
         cpu.pl = saved
 
@@ -55,15 +59,17 @@ def reload_control_processor(cpu: "Cpu", kernel: "Kernel",
     if cpu.interrupts_enabled:
         raise ConsistencyViolation(
             "state reloading entered with interrupts enabled")
-    cpu.charge(cpu.cost.cyc_reload_fixed)
-    _reload_own_registers(cpu, kernel,
-                          native_target=(target_kernel_pl == PrivilegeLevel.PL0))
+    with trace.span(cpu.cpu_id, "reload.cp"):
+        cpu.charge(cpu.cost.cyc_reload_fixed)
+        _reload_own_registers(
+            cpu, kernel,
+            native_target=(target_kernel_pl == PrivilegeLevel.PL0))
 
-    # the interrupt frame we will IRET through: return the kernel at its
-    # new privilege level (§5.1.3's "privileged-level switch right after a
-    # mode switch")
-    if hasattr(cpu, "_iret_pl"):
-        cpu._iret_pl = target_kernel_pl
+        # the interrupt frame we will IRET through: return the kernel at its
+        # new privilege level (§5.1.3's "privileged-level switch right after
+        # a mode switch")
+        if hasattr(cpu, "_iret_pl"):
+            cpu._iret_pl = target_kernel_pl
 
 
 def reload_secondary(cpu: "Cpu", kernel: "Kernel",

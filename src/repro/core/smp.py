@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
-from repro import faults
+from repro import faults, trace
 from repro.errors import RendezvousTimeout
 from repro.hw.interrupts import VEC_SV_RENDEZVOUS
 
@@ -84,65 +84,72 @@ class SmpCoordinator:
         self.go_flag = False
         self.done_count = 0
 
-        # 1. CP notifies the other processors (a dropped IPI never reaches
-        # its core: the gather below comes up short and times out)
-        ipis = 0
-        reached: list["Cpu"] = []
-        for c in secondaries:
-            if faults.fire(faults.IPI_DROPPED, cpu_id=c.cpu_id):
-                continue
-            self.machine.intc.send_ipi(cp, c.cpu_id, VEC_SV_RENDEZVOUS)
-            reached.append(c)
-            ipis += 1
-
-        try:
-            # 2. each secondary receives the IPI (in parallel), masks its
-            # own interrupts, and bumps the shared count; the CP spins until
-            # the count covers every CPU
-            if reached:
-                clock.advance(cost.cyc_ipi_deliver)
-                for c in reached:
-                    if faults.fire(faults.IPI_DELAYED, cpu_id=c.cpu_id):
-                        clock.advance(cost.cyc_ipi_deliver * IPI_DELAY_FACTOR)
-                    self.machine.intc.consume_vector(c.cpu_id,
-                                                     VEC_SV_RENDEZVOUS)
-                    c.interrupts_enabled = False
-                    clock.advance(cost.cyc_refcount_check)  # shared count
-                    self.ready_count += 1
-            if faults.fire(faults.RENDEZVOUS_TIMEOUT):
-                raise RendezvousTimeout(
-                    f"injected: gather stalled at {self.ready_count}"
-                    f"/{len(cpus)} CPUs")
-            if self.ready_count != len(cpus):
-                raise RendezvousTimeout(
-                    f"gathered {self.ready_count}/{len(cpus)} CPUs")
-            t_gathered = clock.cycles
-
-            # 3. CP raises the flag and performs the heavy switch work
-            self.go_flag = True
-            cp_work(cp)
-            t_cp_done = clock.cycles
-
-            # 4. the secondaries saw the flag at t_gathered and reloaded
-            # their own state concurrently with the CP's work: execute their
-            # reloads for state correctness, overlap their cycle cost
-            # against the CP
-            t_secondaries_done = t_gathered
+        with trace.span(cp.cpu_id, "smp.rendezvous"):
+            # 1. CP notifies the other processors (a dropped IPI never
+            # reaches its core: the gather below comes up short and times
+            # out)
+            ipis = 0
+            reached: list["Cpu"] = []
             for c in secondaries:
-                before = clock.cycles
-                secondary_work(c)
-                self.done_count += 1
-                delta = clock.cycles - before
-                clock.cycles = before  # overlapped with cp_work, not serial
-                t_secondaries_done = max(t_secondaries_done,
-                                         t_gathered + delta)
-        except BaseException:
-            # a failed rendezvous/switch must not strand secondaries with
-            # interrupts masked — the rollback path runs with the machine
-            # responsive again
-            for c in secondaries:
-                c.interrupts_enabled = True
-            raise
+                if faults.fire(faults.IPI_DROPPED, cpu_id=c.cpu_id):
+                    continue
+                self.machine.intc.send_ipi(cp, c.cpu_id, VEC_SV_RENDEZVOUS)
+                trace.instant(cp.cpu_id, "smp.ipi", target=f"cpu{c.cpu_id}")
+                reached.append(c)
+                ipis += 1
+
+            try:
+                # 2. each secondary receives the IPI (in parallel), masks
+                # its own interrupts, and bumps the shared count; the CP
+                # spins until the count covers every CPU
+                with trace.span(cp.cpu_id, "smp.gather"):
+                    if reached:
+                        clock.advance(cost.cyc_ipi_deliver)
+                        for c in reached:
+                            if faults.fire(faults.IPI_DELAYED,
+                                           cpu_id=c.cpu_id):
+                                clock.advance(cost.cyc_ipi_deliver *
+                                              IPI_DELAY_FACTOR)
+                            self.machine.intc.consume_vector(
+                                c.cpu_id, VEC_SV_RENDEZVOUS)
+                            c.interrupts_enabled = False
+                            clock.advance(cost.cyc_refcount_check)
+                            self.ready_count += 1
+                    if faults.fire(faults.RENDEZVOUS_TIMEOUT):
+                        raise RendezvousTimeout(
+                            f"injected: gather stalled at {self.ready_count}"
+                            f"/{len(cpus)} CPUs")
+                    if self.ready_count != len(cpus):
+                        raise RendezvousTimeout(
+                            f"gathered {self.ready_count}/{len(cpus)} CPUs")
+                    t_gathered = clock.cycles
+
+                # 3. CP raises the flag and performs the heavy switch work
+                self.go_flag = True
+                cp_work(cp)
+                t_cp_done = clock.cycles
+
+                # 4. the secondaries saw the flag at t_gathered and reloaded
+                # their own state concurrently with the CP's work: execute
+                # their reloads for state correctness, overlap their cycle
+                # cost against the CP
+                t_secondaries_done = t_gathered
+                for c in secondaries:
+                    before = clock.cycles
+                    with trace.span(c.cpu_id, "reload.secondary"):
+                        secondary_work(c)
+                    self.done_count += 1
+                    delta = clock.cycles - before
+                    clock.cycles = before  # overlapped with cp_work
+                    t_secondaries_done = max(t_secondaries_done,
+                                             t_gathered + delta)
+            except BaseException:
+                # a failed rendezvous/switch must not strand secondaries
+                # with interrupts masked — the rollback path runs with the
+                # machine responsive again
+                for c in secondaries:
+                    c.interrupts_enabled = True
+                raise
 
         # 5. completion: the switch is over when the straggler finishes
         t_finish = max(t_cp_done, t_secondaries_done)

@@ -30,7 +30,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
-from repro import faults
+from repro import faults, trace
 from repro.core.accounting import AccountingStrategy
 from repro.core.reload import (reload_control_processor, reload_secondary,
                                reload_secondary_rollback)
@@ -184,6 +184,11 @@ class ModeSwitchEngine:
         self._handle(cpu, Direction.TO_NATIVE)
 
     def _handle(self, cpu: "Cpu", direction: Direction) -> None:
+        with trace.span(cpu.cpu_id, "switch.attempt",
+                        direction=direction.value):
+            self._handle_traced(cpu, direction)
+
+    def _handle_traced(self, cpu: "Cpu", direction: Direction) -> None:
         mercury = self.mercury
         start_tsc = cpu.rdtsc()
         cpu.charge(cpu.cost.cyc_switch_interrupt)
@@ -194,18 +199,23 @@ class ModeSwitchEngine:
         if direction is Direction.TO_VIRTUAL and mercury.vmm.active and \
                 mercury.kernel.vo is mercury.virtual_vo:
             self._pending.pop(direction, None)
+            trace.instant(cpu.cpu_id, "switch.stale-drop")
             return
         if direction is Direction.TO_NATIVE and \
                 mercury.kernel.vo is mercury.native_vo:
             self._pending.pop(direction, None)
+            trace.instant(cpu.cpu_id, "switch.stale-drop")
             return
 
         # §5.1.1: only commit at refcount zero (a fault armed at the
         # refcount site simulates a CPU wedged inside sensitive code)
-        cpu.charge(cpu.cost.cyc_refcount_check)
-        if faults.fire(faults.REFCOUNT_STUCK, cpu_id=cpu.cpu_id) or \
-                mercury.kernel.vo.busy():
+        with trace.span(cpu.cpu_id, "switch.quiesce"):
+            cpu.charge(cpu.cost.cyc_refcount_check)
+            busy = faults.fire(faults.REFCOUNT_STUCK, cpu_id=cpu.cpu_id) or \
+                mercury.kernel.vo.busy()
+        if busy:
             self.failed_attempts += 1
+            trace.instant(cpu.cpu_id, "switch.busy")
             self._retry_or_abort(cpu, direction, cause=None)
             return
 
@@ -223,6 +233,8 @@ class ModeSwitchEngine:
             self._retry_or_abort(cpu, direction, cause=exc)
             return
         self.records.append(record)
+        trace.instant(cpu.cpu_id, "switch.committed",
+                      direction=direction.value, cycles=record.cycles)
         retries = record.retries
         self.retry_histogram[retries] = \
             self.retry_histogram.get(retries, 0) + 1
@@ -241,11 +253,15 @@ class ModeSwitchEngine:
                 # request itself is unwound to the pre-switch state
                 self.switch_rollbacks += 1
                 cause = attempt.errors[-1] if attempt.errors else None
+            trace.instant(cpu.cpu_id, "switch.abort",
+                          direction=direction.value)
             raise SwitchAborted(direction, attempt.retries, cause)
         attempt.retries += 1
         delay_ms = min(
             RETRY_PERIOD_MS * BACKOFF_FACTOR ** (attempt.retries - 1),
             MAX_RETRY_BACKOFF_MS)
+        trace.instant(cpu.cpu_id, "switch.retry-armed",
+                      direction=direction.value, delay_ms=delay_ms)
         vector = (VEC_SV_ATTACH if direction is Direction.TO_VIRTUAL
                   else VEC_SV_DETACH)
         period_cycles = delay_ms * 1000 * cpu.cost.freq_mhz
@@ -267,34 +283,39 @@ class ModeSwitchEngine:
         if direction is Direction.TO_NATIVE and kernel.vo is mercury.native_vo:
             raise ModeSwitchError("already in native mode")
 
-        # uninterruptible from here (the handler context already raised us
-        # to PL0; we additionally mask)
-        saved_if, cpu.interrupts_enabled = cpu.interrupts_enabled, False
-        # flush-before-commit: queued lazy-MMU updates are mode-dependent
-        # state (they assume hypercalls into the current VMM); drain them
-        # before the VO pointer swap and refuse to commit on a dirty queue
-        kernel.vo.lazy_mmu_drain(cpu)
-        if kernel.vo.lazy_mmu_pending():
-            cpu.interrupts_enabled = saved_if
-            raise ModeSwitchError(
-                "lazy-MMU queue not empty at mode-switch commit")
-        pt_pages = 0
-        txn = SwitchTransaction()
-        try:
+        with trace.span(cpu.cpu_id, "switch.commit",
+                        direction=direction.value):
+            # uninterruptible from here (the handler context already raised
+            # us to PL0; we additionally mask)
+            saved_if, cpu.interrupts_enabled = cpu.interrupts_enabled, False
+            # flush-before-commit: queued lazy-MMU updates are
+            # mode-dependent state (they assume hypercalls into the current
+            # VMM); drain them before the VO pointer swap and refuse to
+            # commit on a dirty queue
+            with trace.span(cpu.cpu_id, "switch.lazy-drain"):
+                kernel.vo.lazy_mmu_drain(cpu)
+            if kernel.vo.lazy_mmu_pending():
+                cpu.interrupts_enabled = saved_if
+                raise ModeSwitchError(
+                    "lazy-MMU queue not empty at mode-switch commit")
+            pt_pages = 0
+            txn = SwitchTransaction()
             try:
-                if direction is Direction.TO_VIRTUAL:
-                    pt_pages, rendezvous = self._to_virtual(cpu, txn)
-                else:
-                    pt_pages, rendezvous = self._to_native(cpu, txn)
-            except BaseException:
-                # unwind the completed steps newest-first; interrupts are
-                # still masked here, which the reload undo requires
-                self.rollback_steps += txn.rollback(cpu)
-                self.switch_rollbacks += 1
-                raise
-        finally:
-            cpu.interrupts_enabled = saved_if
-        end_tsc = cpu.rdtsc()
+                try:
+                    if direction is Direction.TO_VIRTUAL:
+                        pt_pages, rendezvous = self._to_virtual(cpu, txn)
+                    else:
+                        pt_pages, rendezvous = self._to_native(cpu, txn)
+                except BaseException:
+                    # unwind the completed steps newest-first; interrupts
+                    # are still masked here, which the reload undo requires
+                    with trace.span(cpu.cpu_id, "switch.rollback"):
+                        self.rollback_steps += txn.rollback(cpu)
+                    self.switch_rollbacks += 1
+                    raise
+            finally:
+                cpu.interrupts_enabled = saved_if
+            end_tsc = cpu.rdtsc()
 
         # the committed mode is a property of the switch, not of whoever
         # requested it — deferred (retried) switches update it here
@@ -320,16 +341,19 @@ class ModeSwitchEngine:
             if mercury.paging is PagingMode.SHADOW:
                 # §3.2.2 shadow mode: translate every guest table into a
                 # VMM-owned shadow instead of validating + pinning
-                if faults.fire(faults.PT_TRANSFER_ABORT):
-                    raise TransferAborted(
-                        "injected: shadow build aborted before start")
-                for aspace in kernel.aspaces:
-                    domain.register_aspace(aspace)
-                txn.did("register-aspaces",
-                        lambda c: [domain.unregister_aspace(a)
-                                   for a in list(domain.aspaces)])
-                state["pt_pages"] = mercury.pager.build_all(cp, kernel.aspaces)
-                txn.did("shadow-build", lambda c: mercury.pager.drop_all(c))
+                with trace.span(cp.cpu_id, "transfer.shadow-build"):
+                    if faults.fire(faults.PT_TRANSFER_ABORT):
+                        raise TransferAborted(
+                            "injected: shadow build aborted before start")
+                    for aspace in kernel.aspaces:
+                        domain.register_aspace(aspace)
+                    txn.did("register-aspaces",
+                            lambda c: [domain.unregister_aspace(a)
+                                       for a in list(domain.aspaces)])
+                    state["pt_pages"] = mercury.pager.build_all(
+                        cp, kernel.aspaces)
+                    txn.did("shadow-build",
+                            lambda c: mercury.pager.drop_all(c))
             else:
                 state["pt_pages"] = transfer.transfer_page_tables_to_virtual(
                     cp, kernel, vmm, domain, mercury.strategy, txn=txn)
@@ -337,6 +361,7 @@ class ModeSwitchEngine:
             transfer.transfer_irq_bindings_to_virtual(cp, kernel, vmm, domain,
                                                       txn=txn)
             vmm.activate()
+            trace.instant(cp.cpu_id, "vmm.activate")
             txn.did("vmm-activate", lambda c: vmm.deactivate())
             reload_control_processor(cp, kernel, PrivilegeLevel.PL1)
             txn.did("cp-reload",
@@ -344,6 +369,7 @@ class ModeSwitchEngine:
                                                        PrivilegeLevel.PL0))
             old_vo = kernel.vo
             kernel.vo = mercury.virtual_vo
+            trace.instant(cp.cpu_id, "switch.vo-swap", to="virtual")
             txn.did("vo-swap", lambda c: setattr(kernel, "vo", old_vo))
             if mercury.paging is PagingMode.SHADOW and \
                     kernel.scheduler.current is not None:
@@ -372,23 +398,26 @@ class ModeSwitchEngine:
         def cp_work(cp: "Cpu") -> None:
             from repro.core.mercury import PagingMode
             if mercury.paging is PagingMode.SHADOW:
-                if faults.fire(faults.PT_TRANSFER_ABORT):
-                    raise TransferAborted(
-                        "injected: shadow drop aborted before start")
-                mercury.pager.drop_all(cp)
-                txn.did("shadow-drop",
-                        lambda c: mercury.pager.build_all(c, kernel.aspaces))
-                for aspace in list(domain.aspaces):
-                    domain.unregister_aspace(aspace)
-                    txn.did(f"unregister-aspace-{aspace.pgd_frame}",
-                            lambda c, a=aspace: domain.register_aspace(a))
-                state["pt_pages"] = sum(a.num_pt_pages()
-                                        for a in kernel.aspaces)
+                with trace.span(cp.cpu_id, "transfer.shadow-drop"):
+                    if faults.fire(faults.PT_TRANSFER_ABORT):
+                        raise TransferAborted(
+                            "injected: shadow drop aborted before start")
+                    mercury.pager.drop_all(cp)
+                    txn.did("shadow-drop",
+                            lambda c: mercury.pager.build_all(
+                                c, kernel.aspaces))
+                    for aspace in list(domain.aspaces):
+                        domain.unregister_aspace(aspace)
+                        txn.did(f"unregister-aspace-{aspace.pgd_frame}",
+                                lambda c, a=aspace: domain.register_aspace(a))
+                    state["pt_pages"] = sum(a.num_pt_pages()
+                                            for a in kernel.aspaces)
             else:
                 state["pt_pages"] = transfer.transfer_page_tables_to_native(
                     cp, kernel, vmm, domain, txn=txn)
             transfer.transfer_segments(cp, kernel, new_dpl=0, txn=txn)
             vmm.deactivate()
+            trace.instant(cp.cpu_id, "vmm.deactivate")
             txn.did("vmm-deactivate", lambda c: vmm.activate())
             transfer.transfer_irq_bindings_to_native(cp, kernel, vmm, domain,
                                                      txn=txn)
@@ -398,6 +427,7 @@ class ModeSwitchEngine:
                                                        PrivilegeLevel.PL1))
             old_vo = kernel.vo
             kernel.vo = mercury.native_vo
+            trace.instant(cp.cpu_id, "switch.vo-swap", to="native")
             txn.did("vo-swap", lambda c: setattr(kernel, "vo", old_vo))
 
         def secondary_work(c: "Cpu") -> None:

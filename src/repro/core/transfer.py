@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Optional
 
-from repro import faults
+from repro import faults, trace
 from repro.core.accounting import AccountingStrategy
 from repro.errors import ConsistencyViolation, HypercallError, TransferAborted
 from repro.hw.cpu import PrivilegeLevel
@@ -65,6 +65,7 @@ class SwitchTransaction:
         ran = 0
         while self._undo:
             step, undo = self._undo.pop()
+            trace.instant(cpu.cpu_id, "rollback.step", step=step)
             try:
                 undo(cpu)
             except Exception as exc:  # noqa: BLE001 - collected, re-raised
@@ -97,42 +98,45 @@ def transfer_page_tables_to_virtual(cpu: "Cpu", kernel: "Kernel",
     Returns the number of page-table pages processed (the dominant cost
     driver of the native→virtual switch, §7.4)."""
     processed = 0
-    if strategy is AccountingStrategy.RECOMPUTE:
-        # full re-validation: the expensive, paper-default path.  The wipe
-        # returns the table to native mode's "VMM lost track" rest state,
-        # which is also exactly the correct undo of a partial recompute.
-        if txn is not None:
-            txn.did("pageinfo-recompute",
-                    lambda c: vmm.page_info.reset())
-        vmm.page_info.reset()
-        for aspace in kernel.aspaces:
-            _fire_transfer_faults(processed)
-            domain.register_aspace(aspace)
+    with trace.span(cpu.cpu_id, "transfer.page-tables",
+                    strategy=strategy.value):
+        if strategy is AccountingStrategy.RECOMPUTE:
+            # full re-validation: the expensive, paper-default path.  The
+            # wipe returns the table to native mode's "VMM lost track" rest
+            # state, which is also exactly the correct undo of a partial
+            # recompute.
             if txn is not None:
-                txn.did(f"register-aspace-{aspace.pgd_frame}",
-                        lambda c, a=aspace: domain.unregister_aspace(a))
-            vmm.page_info.validate_pgd(cpu, aspace, domain.domain_id)
-            processed += aspace.num_pt_pages()
-    else:
-        # ACTIVE: counts were maintained from native mode; only the pin
-        # markers and a light re-protection pass are needed
-        for aspace in kernel.aspaces:
-            _fire_transfer_faults(processed)
-            domain.register_aspace(aspace)
-            if txn is not None:
-                txn.did(f"register-aspace-{aspace.pgd_frame}",
-                        lambda c, a=aspace: domain.unregister_aspace(a))
-            added: list[int] = []
-            for pt in aspace.pt_pages():
-                cpu.charge(cpu.cost.cyc_transfer_per_pt_page)
-                if pt.frame not in vmm.page_info.pinned:
-                    vmm.page_info.pinned.add(pt.frame)
-                    added.append(pt.frame)
-            if txn is not None and added:
-                txn.did(f"pin-aspace-{aspace.pgd_frame}",
-                        lambda c, fr=tuple(added):
-                        vmm.page_info.pinned.difference_update(fr))
-            processed += aspace.num_pt_pages()
+                txn.did("pageinfo-recompute",
+                        lambda c: vmm.page_info.reset())
+            vmm.page_info.reset()
+            for aspace in kernel.aspaces:
+                _fire_transfer_faults(processed)
+                domain.register_aspace(aspace)
+                if txn is not None:
+                    txn.did(f"register-aspace-{aspace.pgd_frame}",
+                            lambda c, a=aspace: domain.unregister_aspace(a))
+                vmm.page_info.validate_pgd(cpu, aspace, domain.domain_id)
+                processed += aspace.num_pt_pages()
+        else:
+            # ACTIVE: counts were maintained from native mode; only the pin
+            # markers and a light re-protection pass are needed
+            for aspace in kernel.aspaces:
+                _fire_transfer_faults(processed)
+                domain.register_aspace(aspace)
+                if txn is not None:
+                    txn.did(f"register-aspace-{aspace.pgd_frame}",
+                            lambda c, a=aspace: domain.unregister_aspace(a))
+                added: list[int] = []
+                for pt in aspace.pt_pages():
+                    cpu.charge(cpu.cost.cyc_transfer_per_pt_page)
+                    if pt.frame not in vmm.page_info.pinned:
+                        vmm.page_info.pinned.add(pt.frame)
+                        added.append(pt.frame)
+                if txn is not None and added:
+                    txn.did(f"pin-aspace-{aspace.pgd_frame}",
+                            lambda c, fr=tuple(added):
+                            vmm.page_info.pinned.difference_update(fr))
+                processed += aspace.num_pt_pages()
     return processed
 
 
@@ -144,24 +148,25 @@ def transfer_page_tables_to_native(cpu: "Cpu", kernel: "Kernel",
     unregister.  The page-info table is left as-is; it is stale from this
     moment (unless the ACTIVE accountant keeps it warm)."""
     processed = 0
-    for aspace in list(kernel.aspaces):
-        _fire_transfer_faults(processed)
-        unpinned: list[int] = []
-        for pt in aspace.pt_pages():
-            cpu.charge(cpu.cost.cyc_transfer_per_pt_page)
-            if pt.frame in vmm.page_info.pinned:
-                vmm.page_info.pinned.discard(pt.frame)
-                unpinned.append(pt.frame)
-            processed += 1
-        if txn is not None and unpinned:
-            txn.did(f"unpin-aspace-{aspace.pgd_frame}",
-                    lambda c, fr=tuple(unpinned):
-                    vmm.page_info.pinned.update(fr))
-        if aspace in domain.aspaces:
-            domain.unregister_aspace(aspace)
-            if txn is not None:
-                txn.did(f"unregister-aspace-{aspace.pgd_frame}",
-                        lambda c, a=aspace: domain.register_aspace(a))
+    with trace.span(cpu.cpu_id, "transfer.page-tables"):
+        for aspace in list(kernel.aspaces):
+            _fire_transfer_faults(processed)
+            unpinned: list[int] = []
+            for pt in aspace.pt_pages():
+                cpu.charge(cpu.cost.cyc_transfer_per_pt_page)
+                if pt.frame in vmm.page_info.pinned:
+                    vmm.page_info.pinned.discard(pt.frame)
+                    unpinned.append(pt.frame)
+                processed += 1
+            if txn is not None and unpinned:
+                txn.did(f"unpin-aspace-{aspace.pgd_frame}",
+                        lambda c, fr=tuple(unpinned):
+                        vmm.page_info.pinned.update(fr))
+            if aspace in domain.aspaces:
+                domain.unregister_aspace(aspace)
+                if txn is not None:
+                    txn.did(f"unregister-aspace-{aspace.pgd_frame}",
+                            lambda c, a=aspace: domain.register_aspace(a))
     return processed
 
 
@@ -171,25 +176,27 @@ def transfer_segments(cpu: "Cpu", kernel: "Kernel", new_dpl: int,
     (§5.1.2: 'a code stub to check and fix the cached segment selectors').
 
     Returns the number of task frames fixed."""
-    if txn is not None:
-        old_dpl = kernel.vo.data.kernel_segment_dpl
-        txn.did(f"segments-dpl{new_dpl}",
-                lambda c: transfer_segments(c, kernel, new_dpl=old_dpl))
-    for c in kernel.machine.cpus:
-        for desc in c.gdt.values():
-            if desc.name.startswith("kernel"):
-                desc.dpl = new_dpl
-    # NOTE: each VO's data table is mode-constant (NativeVO: DPL 0,
-    # VirtualVO: DPL 1) — the switch installs the other object rather than
-    # mutating this one, so nothing to update here beyond the hardware.
+    with trace.span(cpu.cpu_id, "transfer.segments"):
+        if txn is not None:
+            old_dpl = kernel.vo.data.kernel_segment_dpl
+            txn.did(f"segments-dpl{new_dpl}",
+                    lambda c: transfer_segments(c, kernel, new_dpl=old_dpl))
+        for c in kernel.machine.cpus:
+            for desc in c.gdt.values():
+                if desc.name.startswith("kernel"):
+                    desc.dpl = new_dpl
+        # NOTE: each VO's data table is mode-constant (NativeVO: DPL 0,
+        # VirtualVO: DPL 1) — the switch installs the other object rather
+        # than mutating this one, so nothing to update here beyond the
+        # hardware.
 
-    fixed = 0
-    for task in kernel.procs.live_tasks():
-        if task.stack_cached_selector_dpl is not None and \
-                task.stack_cached_selector_dpl != new_dpl:
-            cpu.charge(cpu.cost.cyc_iret_fixup)
-            task.stack_cached_selector_dpl = new_dpl
-            fixed += 1
+        fixed = 0
+        for task in kernel.procs.live_tasks():
+            if task.stack_cached_selector_dpl is not None and \
+                    task.stack_cached_selector_dpl != new_dpl:
+                cpu.charge(cpu.cost.cyc_iret_fixup)
+                task.stack_cached_selector_dpl = new_dpl
+                fixed += 1
     return fixed
 
 
@@ -219,19 +226,21 @@ def transfer_irq_bindings_to_virtual(cpu: "Cpu", kernel: "Kernel",
                                      ) -> None:
     """Move interrupt delivery under the VMM: register the guest's handlers
     as the domain trap table and install the VMM's forwarding IDT."""
-    if txn is not None:
-        old_table = domain.trap_table
-        old_idts = _snapshot_idts(kernel)
+    with trace.span(cpu.cpu_id, "transfer.irq-bindings"):
+        if txn is not None:
+            old_table = domain.trap_table
+            old_idts = _snapshot_idts(kernel)
 
-        def undo(c: "Cpu") -> None:
-            domain.trap_table = old_table
-            _restore_idts(kernel, old_idts)
+            def undo(c: "Cpu") -> None:
+                domain.trap_table = old_table
+                _restore_idts(kernel, old_idts)
 
-        txn.did("irq-to-virtual", undo)
-    table = {vec: entry.handler for vec, entry in kernel.idt.gates.items()}
-    domain.trap_table = table
-    cpu.charge(cpu.cost.cyc_privop_native * max(1, len(table)))
-    vmm.install_idt_for(domain)
+            txn.did("irq-to-virtual", undo)
+        table = {vec: entry.handler
+                 for vec, entry in kernel.idt.gates.items()}
+        domain.trap_table = table
+        cpu.charge(cpu.cost.cyc_privop_native * max(1, len(table)))
+        vmm.install_idt_for(domain)
 
 
 def transfer_irq_bindings_to_native(cpu: "Cpu", kernel: "Kernel",
@@ -242,14 +251,15 @@ def transfer_irq_bindings_to_native(cpu: "Cpu", kernel: "Kernel",
     """Point the hardware back at the guest's own IDT.  (``vmm``/``domain``
     are accepted for call-site symmetry; the journalled undo restores the
     captured per-CPU IDTs rather than re-deriving the forwarding IDT.)"""
-    if txn is not None:
-        old_idts = _snapshot_idts(kernel)
-        txn.did("irq-to-native",
-                lambda c: _restore_idts(kernel, old_idts))
-    cpu.charge(cpu.cost.cyc_privop_native * max(1, len(kernel.idt.gates)))
-    for c in kernel.machine.cpus:
-        saved, c.pl = c.pl, PrivilegeLevel.PL0
-        try:
-            c.load_idt(kernel.idt)
-        finally:
-            c.pl = saved
+    with trace.span(cpu.cpu_id, "transfer.irq-bindings"):
+        if txn is not None:
+            old_idts = _snapshot_idts(kernel)
+            txn.did("irq-to-native",
+                    lambda c: _restore_idts(kernel, old_idts))
+        cpu.charge(cpu.cost.cyc_privop_native * max(1, len(kernel.idt.gates)))
+        for c in kernel.machine.cpus:
+            saved, c.pl = c.pl, PrivilegeLevel.PL0
+            try:
+                c.load_idt(kernel.idt)
+            finally:
+                c.pl = saved

@@ -24,6 +24,8 @@ import contextlib
 from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
+from repro import trace
+
 
 @dataclass(frozen=True)
 class FaultSite:
@@ -159,6 +161,8 @@ class FaultPlan:
             self.log.append((site_name, cpu_id))
             global _INJECTED_TOTAL
             _INJECTED_TOTAL += 1
+            trace.instant(cpu_id if cpu_id is not None else 0,
+                          "fault.injected", site=site_name)
         return fired
 
 

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
+from repro import trace
 from repro.errors import NetworkError, RingError
 from repro.hw.devices import Packet
 from repro.vmm.backend import BlkBack, BlkRingEntry, NetBack, NetRingEntry
@@ -85,6 +86,9 @@ class BlkFront:
         self.stats.ring_batched_entries += n
         if self.ring.push_requests_and_check_notify():
             self.stats.notifies_sent += 1
+            if trace._ACTIVE is not None:  # hot path: skip the hook call
+                trace.instant(cpu.cpu_id, "io.doorbell", dev="blk",
+                              ring="req")
             self.notify_backend(cpu)
         else:
             self.stats.notifies_suppressed += 1
@@ -234,6 +238,9 @@ class NetFront:
         self.stats.ring_batched_entries += n
         if self.tx_ring.push_requests_and_check_notify():
             self.stats.notifies_sent += 1
+            if trace._ACTIVE is not None:  # hot path: skip the hook call
+                trace.instant(cpu.cpu_id, "io.doorbell", dev="net",
+                              ring="req")
             # the notification wakes the driver domain's vcpu — paid only
             # when a notify is actually delivered, not per packet
             cpu.charge(cpu.cost.cyc_guest_sched_latency)

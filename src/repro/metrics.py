@@ -69,6 +69,9 @@ class MetricsSnapshot:
     pending_retries: int = 0
     failed_attempts: int = 0
     faults_injected: int = 0
+    # tracing (observation-only: both stay 0 unless a tracer is installed)
+    trace_events: int = 0
+    trace_dropped: int = 0
     #: committed-switch retry distribution: retries-consumed -> #switches
     retry_histogram: dict = field(default_factory=dict)
 
@@ -187,8 +190,12 @@ class MetricsCollector:
             snap.pending_retries = engine.pending_retries
             snap.failed_attempts = engine.failed_attempts
             snap.retry_histogram = dict(engine.retry_histogram)
-        from repro import faults
+        from repro import faults, trace
         snap.faults_injected = faults.injected_total()
+        tracer = trace.active()
+        if tracer is not None:
+            snap.trace_events = tracer.recorded
+            snap.trace_dropped = tracer.dropped
         return snap
 
     def measure(self, fn, *args, **kwargs):
@@ -196,6 +203,17 @@ class MetricsCollector:
         before = self.snapshot()
         result = fn(*args, **kwargs)
         return result, self.snapshot() - before
+
+    def switch_phases(self, tracer: Optional["trace.Tracer"] = None
+                      ) -> dict[str, "trace.PhaseStat"]:
+        """Per-phase switch-latency breakdown (§7.4 decomposition) from the
+        given tracer, or the installed one.  Empty when nothing is traced."""
+        from repro import trace
+        tracer = tracer if tracer is not None else trace.active()
+        if tracer is None:
+            return {}
+        return trace.phase_summary(tracer.events(),
+                                   names=trace.SWITCH_PHASES)
 
 
 def format_report(delta: MetricsSnapshot, title: str = "Metrics") -> str:
@@ -235,6 +253,8 @@ def format_report(delta: MetricsSnapshot, title: str = "Metrics") -> str:
                            ("rollback steps", delta.rollback_steps),
                            ("switch aborts", delta.switch_aborts),
                            ("faults injected", delta.faults_injected)]),
+        ("tracing", [("trace events", delta.trace_events),
+                     ("trace dropped", delta.trace_dropped)]),
     ]
     for name, rows in groups:
         shown = [(label, v) for label, v in rows if v]

@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Optional
 
+from repro import trace
 from repro.errors import RingError
 from repro.hw.devices import BlockRequest, Packet
 from repro.vmm.rings import IoRing, IoStats
@@ -189,6 +190,9 @@ class BlkBack(_NapiBackend):
             self.stats.ring_batched_entries += len(batch)
             if self.ring.push_responses_and_check_notify():
                 self.stats.notifies_sent += 1
+                if trace._ACTIVE is not None:  # hot path: skip the hook
+                    trace.instant(cpu.cpu_id, "io.doorbell", dev="blk",
+                                  ring="resp")
                 self.notify_frontend(cpu)
             else:
                 self.stats.notifies_suppressed += 1
@@ -293,6 +297,9 @@ class NetBack(_NapiBackend):
             self.stats.ring_batched_entries += len(batch)
             if self.tx_ring.push_responses_and_check_notify():
                 self.stats.notifies_sent += 1
+                if trace._ACTIVE is not None:  # hot path: skip the hook
+                    trace.instant(cpu.cpu_id, "io.doorbell", dev="net",
+                                  ring="resp")
                 self.notify_frontend(cpu)
             else:
                 self.stats.notifies_suppressed += 1

@@ -20,6 +20,7 @@ from __future__ import annotations
 import enum
 from typing import TYPE_CHECKING, Optional
 
+from repro import trace
 from repro.errors import DomainError, HypercallError, VMMError
 from repro.hw.cpu import PrivilegeLevel
 from repro.hw.interrupts import Idt
@@ -185,6 +186,8 @@ class Hypervisor:
         self.hypercalls_served += 1
         counts = self.hypercall_counts
         counts[name] = counts.get(name, 0) + 1
+        if trace._ACTIVE is not None:  # hot path: skip the hook call
+            trace.instant(cpu.cpu_id, "hypercall", call=name)
         return fn(self, cpu, domain, *args)
 
     # ------------------------------------------------------------------

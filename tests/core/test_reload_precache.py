@@ -1,0 +1,141 @@
+"""Coverage for :mod:`repro.core.reload` and :mod:`repro.core.precache`.
+
+The reload-ordering assertions (§4.3/§5.1.3: CR3/IDT/GDT reloaded inside
+the uninterruptible switch handler, GDT before CR3, TLB flushed last) are
+made against the cycle-domain trace — the reload steps are observable as
+instants nested in the ``reload.cp`` / ``reload.secondary`` spans.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro import Machine, Mercury, small_config, trace
+from repro.core.precache import (COLD_BOOT_CYCLES, WARMUP_CYCLES,
+                                 precache_vmm)
+from repro.core.reload import reload_control_processor
+from repro.errors import ConsistencyViolation
+from repro.hw.cpu import PrivilegeLevel
+
+
+def _find(span, name):
+    """All descendants (and self) named ``name``, in tree order."""
+    return [n for n in span.walk() if n.name == name]
+
+
+def _single_root(tracer, cpu_id=0):
+    forests = trace.build_span_trees(tracer.events())
+    roots = forests[cpu_id]
+    assert len(roots) == 1
+    return roots[0]
+
+
+def _traced_switch(mercury, direction):
+    with trace.tracing(mercury.machine) as tracer:
+        if direction == "attach":
+            mercury.attach()
+        else:
+            mercury.detach()
+    assert trace.validate(tracer.events(), dropped=tracer.dropped) == []
+    return tracer
+
+
+# ---------------------------------------------------------------------------
+# reload ordering (§5.1.3)
+# ---------------------------------------------------------------------------
+
+def test_attach_reload_order_and_no_guest_idt(mercury):
+    """Attach reloads GDT then CR3 then flushes the TLB — and does *not*
+    load the guest IDT: virtual mode runs on the VMM's forwarding IDT,
+    installed by the IRQ-binding transfer step."""
+    tracer = _traced_switch(mercury, "attach")
+    root = _single_root(tracer)
+    (reload_cp,) = _find(root, "reload.cp")
+    steps = [c.name for c in reload_cp.children]
+    assert steps == ["reload.gdt", "reload.cr3", "reload.tlb-flush"]
+    assert _find(root, "reload.idt") == []
+
+
+def test_detach_reload_order_includes_guest_idt(mercury):
+    """Detach hands the hardware back to the guest: GDT, then the guest's
+    own IDT, then CR3, then the TLB flush."""
+    mercury.attach()
+    tracer = _traced_switch(mercury, "detach")
+    root = _single_root(tracer)
+    (reload_cp,) = _find(root, "reload.cp")
+    steps = [c.name for c in reload_cp.children]
+    assert steps == ["reload.gdt", "reload.idt", "reload.cr3",
+                     "reload.tlb-flush"]
+
+
+def test_reload_runs_inside_the_uninterruptible_commit(mercury):
+    """The reload phase nests inside the switch-commit span (the
+    uninterruptible handler), *after* the IRQ-binding transfer settled
+    which IDT the hardware should own."""
+    tracer = _traced_switch(mercury, "attach")
+    root = _single_root(tracer)
+    (commit,) = _find(root, "switch.commit")
+    assert _find(commit, "reload.cp"), "reload.cp not inside switch.commit"
+    order = [c.name for c in commit.children]
+    assert order.index("transfer.irq-bindings") < order.index("reload.cp")
+
+
+def test_secondary_reload_order_on_smp():
+    """Each secondary performs the same register reload sequence from its
+    rendezvous IPI handler, on its own CPU track."""
+    cfg = dataclasses.replace(small_config(), num_cpus=2)
+    mercury = Mercury(Machine(cfg))
+    mercury.create_kernel(image_pages=16)
+    mercury.attach()
+    with trace.tracing(mercury.machine) as tracer:
+        mercury.detach()
+    events = tracer.events()
+    assert trace.validate(events, dropped=tracer.dropped) == []
+    forests = trace.build_span_trees(events)
+    (secondary_root,) = forests[1]
+    assert secondary_root.name == "reload.secondary"
+    steps = [c.name for c in secondary_root.children]
+    assert steps == ["reload.gdt", "reload.idt", "reload.cr3",
+                     "reload.tlb-flush"]
+
+
+def test_reload_refuses_interruptible_entry(mercury):
+    """§5.1.3: state reloading must not be interrupted — entering the CP
+    reload with interrupts enabled is a consistency violation."""
+    cpu = mercury.machine.boot_cpu
+    cpu.interrupts_enabled = True
+    with pytest.raises(ConsistencyViolation):
+        reload_control_processor(cpu, mercury.kernel, PrivilegeLevel.PL1)
+
+
+# ---------------------------------------------------------------------------
+# pre-caching (§4.1)
+# ---------------------------------------------------------------------------
+
+def test_precache_reserves_memory_and_charges_boot_once():
+    machine = Machine(small_config())
+    before = machine.clock.cycles
+    vmm, info = precache_vmm(machine)
+    assert machine.clock.cycles - before == WARMUP_CYCLES
+    assert info.warmup_cycles == WARMUP_CYCLES
+    assert info.reserved_frames > 0
+    assert info.reserved_kb == info.reserved_frames * 4
+    assert not vmm.active  # resident but inactive
+
+
+def test_precache_without_boot_charge_is_free():
+    machine = Machine(small_config())
+    before = machine.clock.cycles
+    _, info = precache_vmm(machine, charge_boot_time=False)
+    assert machine.clock.cycles == before
+    assert info.warmup_cycles == 0
+
+
+def test_attach_rides_the_precached_vmm(mercury):
+    """The whole point of §4.1: with the VMM pre-cached, the attach itself
+    costs orders of magnitude less than a cold VMM boot would."""
+    assert mercury.precache_info.reserved_kb > 0
+    record = mercury.attach()
+    assert record.cycles < WARMUP_CYCLES < COLD_BOOT_CYCLES

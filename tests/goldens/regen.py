@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Regenerate the committed golden traces — the one command of the golden
+workflow:
+
+    python tests/goldens/regen.py            # all scenarios
+    python tests/goldens/regen.py attach_up  # just one
+
+Each scenario in :mod:`tests.goldens.scenarios` is executed and its
+canonical trace written to ``tests/goldens/<name>.trace``.  Review the
+diff, then commit with ``REGEN_GOLDENS`` in the commit message — CI fails
+any commit that touches a ``.trace`` file without the marker.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+REPO = HERE.parent.parent
+for p in (str(REPO / "src"), str(REPO)):
+    if p not in sys.path:
+        sys.path.insert(0, p)
+
+from tests.goldens.scenarios import SCENARIOS  # noqa: E402
+
+
+def main(argv: list[str]) -> int:
+    names = argv or sorted(SCENARIOS)
+    unknown = [n for n in names if n not in SCENARIOS]
+    if unknown:
+        print(f"unknown scenario(s): {', '.join(unknown)}\n"
+              f"known: {', '.join(sorted(SCENARIOS))}", file=sys.stderr)
+        return 2
+    for name in names:
+        lines = SCENARIOS[name]()
+        out = HERE / f"{name}.trace"
+        out.write_text("\n".join(lines) + "\n")
+        print(f"wrote {out.relative_to(REPO)} ({len(lines)} lines)")
+    print("\nReview the diff and commit with REGEN_GOLDENS in the message.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

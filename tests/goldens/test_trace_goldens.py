@@ -1,0 +1,58 @@
+"""Golden-trace regression tests for the mode-switch pipeline.
+
+Each scenario replays one switch and diffs its canonical trace against the
+committed golden.  The canonical form keeps event kinds, span nesting,
+phase ordering and symbolic args, and scrubs every raw number — so these
+tests pin the *structure* of the pipeline (which phases run, in what
+order, on which CPU, and how faults unwind) without breaking on
+cost-model tuning.
+
+On an intentional pipeline change: ``python tests/goldens/regen.py``,
+review the diff, and commit with ``REGEN_GOLDENS`` in the message.
+"""
+
+from __future__ import annotations
+
+import difflib
+from pathlib import Path
+
+import pytest
+
+from tests.goldens.scenarios import SCENARIOS
+
+HERE = Path(__file__).resolve().parent
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_golden_trace(name):
+    golden_file = HERE / f"{name}.trace"
+    assert golden_file.exists(), (
+        f"missing golden {golden_file.name} — run "
+        f"`python tests/goldens/regen.py {name}` and commit it "
+        f"with REGEN_GOLDENS in the message")
+    want = golden_file.read_text().splitlines()
+    got = SCENARIOS[name]()
+    if got != want:
+        diff = "\n".join(difflib.unified_diff(
+            want, got, fromfile=f"goldens/{name}.trace (committed)",
+            tofile=f"{name} (this run)", lineterm=""))
+        pytest.fail(
+            f"canonical trace for {name!r} diverged from the golden:\n"
+            f"{diff}\n\n"
+            f"If the pipeline change is intentional, regenerate with "
+            f"`python tests/goldens/regen.py` and commit with "
+            f"REGEN_GOLDENS in the message.")
+
+
+def test_goldens_have_no_raw_numbers():
+    """The canonicalizer must keep goldens free of measured values: every
+    digit run in an arg value is scrubbed to 'N'.  (Digits in event
+    *names* — ``reload.cr3`` — and in the ``cpuN`` track label are source
+    identifiers, not measurements.)"""
+    import re
+    for f in sorted(HERE.glob("*.trace")):
+        for i, line in enumerate(f.read_text().splitlines(), 1):
+            for value in re.findall(r"=(\S+)", line):
+                assert not re.search(r"\d", value), (
+                    f"{f.name}:{i}: raw number leaked into golden arg: "
+                    f"{line!r}")

@@ -19,6 +19,7 @@ from repro.core.invariants import check_all
 from repro.core.mercury import Mode
 from repro.core.switch import Direction
 from repro.errors import ReproError
+from repro.metrics import MetricsCollector
 from repro.params import PAGE_SIZE
 
 #: the storm runs on one CPU, so only the UP-reachable sites are armable
@@ -129,7 +130,6 @@ def test_storm_metrics_never_go_inconsistent(ops):
     """Accounting sanity under the same storm: counters are monotone and
     agree with each other."""
     mercury = _fresh()
-    engine = mercury.engine
     plan = faults.FaultPlan()
     state = {"children": []}
     try:
@@ -143,8 +143,11 @@ def test_storm_metrics_never_go_inconsistent(ops):
         faults.clear_plan()
     _settle(mercury)
 
-    assert engine.switch_aborts >= 0
-    assert engine.switch_rollbacks >= sum(r.rollbacks for r in engine.records)
-    assert sum(engine.retry_histogram.values()) == len(engine.records)
-    assert engine.total_retries == sum(r.retries for r in engine.records)
+    snap = MetricsCollector(mercury.machine, kernel=mercury.kernel,
+                            mercury=mercury).snapshot()
+    records = mercury.switch_records
+    assert snap.switch_aborts >= 0
+    assert snap.switch_rollbacks >= sum(r.rollbacks for r in records)
+    assert sum(snap.retry_histogram.values()) == len(records)
+    assert snap.switch_retries == sum(r.retries for r in records)
     assert plan.injected == len(plan.log)

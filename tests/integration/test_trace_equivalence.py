@@ -1,0 +1,91 @@
+"""Tracing is observation-only.
+
+The tracer never charges cycles or touches simulated state, so running the
+same deterministic workload with tracing enabled must produce *identical*
+results and an identical metrics snapshot (modulo the two trace counters
+themselves) as running it with tracing disabled.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro import trace
+from repro.bench.configs import build_config
+from repro.metrics import MetricsCollector, MetricsSnapshot
+from repro.workloads.iperf import run_iperf
+from repro.workloads.kbuild import run_kbuild
+
+
+def _scrub(snap: MetricsSnapshot) -> MetricsSnapshot:
+    """Zero the counters that legitimately differ when a tracer is on."""
+    snap = dataclasses.replace(snap)
+    snap.trace_events = 0
+    snap.trace_dropped = 0
+    return snap
+
+
+def _kbuild(traced: bool):
+    sut = build_config("M-V")
+    collector = MetricsCollector(sut.machine, kernel=sut.kernel,
+                                 vmm=sut.vmm, mercury=sut.mercury)
+    if traced:
+        with trace.tracing(sut.machine):
+            result = run_kbuild(sut.kernel, sut.cpu, files=6)
+    else:
+        result = run_kbuild(sut.kernel, sut.cpu, files=6)
+    return result, _scrub(collector.snapshot())
+
+
+def _iperf(traced: bool):
+    sut = build_config("X-U")
+    collector = MetricsCollector(sut.machine, kernel=sut.kernel,
+                                 vmm=sut.vmm, mercury=sut.mercury)
+    if traced:
+        with trace.tracing(sut.machine):
+            result = run_iperf(sut.kernel, sut.peer_kernel, proto="tcp",
+                               total_bytes=256 * 1024)
+    else:
+        result = run_iperf(sut.kernel, sut.peer_kernel, proto="tcp",
+                           total_bytes=256 * 1024)
+    return result, _scrub(collector.snapshot())
+
+
+def _switch_roundtrips(traced: bool):
+    sut = build_config("M-N")
+    collector = MetricsCollector(sut.machine, kernel=sut.kernel,
+                                 vmm=sut.vmm, mercury=sut.mercury)
+    records = []
+    if traced:
+        with trace.tracing(sut.machine):
+            for _ in range(3):
+                records.append(sut.mercury.attach().cycles)
+                records.append(sut.mercury.detach().cycles)
+    else:
+        for _ in range(3):
+            records.append(sut.mercury.attach().cycles)
+            records.append(sut.mercury.detach().cycles)
+    return records, _scrub(collector.snapshot())
+
+
+def test_kbuild_identical_with_and_without_tracing():
+    plain_result, plain_snap = _kbuild(traced=False)
+    traced_result, traced_snap = _kbuild(traced=True)
+    assert traced_result == plain_result
+    assert traced_snap == plain_snap
+
+
+def test_iperf_identical_with_and_without_tracing():
+    plain_result, plain_snap = _iperf(traced=False)
+    traced_result, traced_snap = _iperf(traced=True)
+    assert traced_result == plain_result
+    assert traced_snap == plain_snap
+
+
+def test_switch_latency_identical_with_and_without_tracing():
+    """The paper's headline number itself (§7.4 switch cycles) must not
+    move by a single cycle when the switch is being traced."""
+    plain_cycles, plain_snap = _switch_roundtrips(traced=False)
+    traced_cycles, traced_snap = _switch_roundtrips(traced=True)
+    assert traced_cycles == plain_cycles
+    assert traced_snap == plain_snap

@@ -21,6 +21,9 @@ CASES = [
     ("hpc_cluster.py", ["self-virtualization", "nothing lost"]),
     ("hardware_assisted.py", ["software switch", "VT-x VMCS + EPT",
                               "VM entries"]),
+    ("trace_timeline.py", ["per-phase breakdown", "reload.cp",
+                           "transfer.page-tables",
+                           "Chrome trace_event JSON"]),
 ]
 
 
