@@ -13,10 +13,16 @@ import dataclasses
 
 import pytest
 
+from repro.hw.machine import reset_machine_ids
 from repro.params import MachineConfig
 
 #: the machine configuration every benchmark builds
 BENCH_MEM_KB = 262_144
+
+
+def pytest_runtest_setup(item):
+    # deterministic machine names/NIC addresses per benchmark
+    reset_machine_ids()
 
 
 @pytest.fixture(scope="session")

@@ -2,75 +2,104 @@
 virtualization object is short (because it is non-blocking) or
 synchronous, this problem [a busy refcount at switch time] rarely happens."
 
-This bench fires mode-switch requests from timer events landing at
-arbitrary points inside a page-table-heavy workload and records how often
-a request found the VO busy (forcing the 10 ms retry) and what the commit
-latencies looked like.
+Under the simulation scheduler (:mod:`repro.sim`), kbuild and iperf run as
+interleaved cooperative tasks while a storm task lands attach/detach
+requests between and *inside* their slices.  Requests delivered at a
+sensitive-code preempt point observe a nonzero VO refcount, arm the 10 ms
+retry timer, and commit on a later delivery — so the latency distribution
+is bimodal: tens of microseconds when quiescent, ≥ one retry period when
+contended.  Results land in ``BENCH_perf.json`` under ``switch_under_load``.
 """
 
-import pytest
+from __future__ import annotations
 
-from repro import Machine, Mercury
-from repro.core.mercury import Mode
-from repro.core.switch import Direction
+import json
+import statistics
+from pathlib import Path
+
+from repro.core.switch import RETRY_PERIOD_MS
+from repro.bench.underload import run_switch_under_load
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_FILE = REPO_ROOT / "BENCH_perf.json"
+
+ROUNDS = 5
 
 
-def test_switches_under_load(benchmark, bench_config):
-    def run():
-        machine = Machine(bench_config)
-        mercury = Mercury(machine)
-        kernel = mercury.create_kernel(image_pages=192)
-        cpu = machine.boot_cpu
-        clock = machine.clock
+def _split_by_contention(result):
+    """Latencies (µs) split at the retry-period floor: anything that ate a
+    retry waited at least one full period."""
+    floor_us = RETRY_PERIOD_MS * 1000
+    lats = result.attach_latency_us + result.detach_latency_us
+    contended = [x for x in lats if x >= floor_us]
+    quick = [x for x in lats if x < floor_us]
+    return contended, quick
 
-        # schedule switch requests at awkward, prime-offset instants
-        # throughout the workload window
-        n_requests = 12
-        for i in range(n_requests):
-            delay = 700_003 + i * 1_700_021  # cycles; lands mid-workload
 
-            def fire(i=i):
-                want = (Direction.TO_VIRTUAL if i % 2 == 0
-                        else Direction.TO_NATIVE)
-                # only request transitions that are currently legal
-                if want is Direction.TO_VIRTUAL and \
-                        mercury.mode is Mode.NATIVE:
-                    mercury.engine.request(want)
-                elif want is Direction.TO_NATIVE and \
-                        mercury.mode is not Mode.NATIVE:
-                    mercury.engine.request(want)
+def test_switch_under_load_scenario(benchmark):
+    result = benchmark.pedantic(run_switch_under_load, kwargs={
+        "rounds": ROUNDS}, iterations=1, rounds=1)
 
-            clock.schedule(delay, fire)
-
-        # the workload: continuous fork/exec churn (PT-heavy, so if VO
-        # occupancy were ever going to collide with a request, it would
-        # be here)
-        for _ in range(30):
-            child = kernel.spawn_process(cpu, "churn", image_pages=64)
-            kernel.run_and_reap(cpu, child)
-        clock.drain_until_idle()
-        machine.poll()
-        return mercury
-
-    mercury = benchmark.pedantic(run, iterations=1, rounds=1)
-    records = mercury.engine.records
-    failed = mercury.engine.failed_attempts
-    total_retries = sum(r.retries for r in records)
+    contended, quick = _split_by_contention(result)
+    total_retries = sum(result.per_switch_retries)
 
     print()
-    print("Section 5.1.1 under load: switch requests vs a fork/exec churn")
-    print(f"  committed switches : {len(records)}")
-    print(f"  busy-at-request    : {failed} "
+    print("Section 5.1.1 under load: attach/detach storm vs kbuild + iperf")
+    print(f"  committed switches : {result.records}")
+    print(f"  busy-at-delivery   : {result.busy_attempts} "
           f"(paper: 'this problem rarely happens')")
-    print(f"  retries consumed   : {total_retries}")
-    if records:
-        us = [r.us() for r in records]
-        print(f"  commit latency     : min {min(us):.1f} / "
-              f"max {max(us):.1f} µs")
+    print(f"  retries consumed   : {total_retries}, aborts: {result.aborts}")
+    print(f"  contended commits  : {len(contended)}  "
+          f"mean {statistics.mean(contended) / 1000:.2f} ms" if contended
+          else "  contended commits  : 0")
+    print(f"  quiescent commits  : {len(quick)}  "
+          f"mean {statistics.mean(quick):.1f} µs")
+    print(f"  kbuild             : {result.kbuild_elapsed_us / 1e6:.3f} s, "
+          f"iperf: {result.iperf_mbit_s:.0f} Mbit/s")
 
-    assert len(records) >= 4, "requests never landed during the workload"
-    # the §5.1.1 claim, quantified: busy collisions are rare because VO
-    # sections are short and non-blocking
-    assert failed <= len(records) // 2
-    benchmark.extra_info["switches"] = len(records)
-    benchmark.extra_info["busy_collisions"] = failed
+    # every request eventually commits; the storm alternates directions
+    assert result.records == 2 * ROUNDS
+    assert result.aborts == 0
+    # the load makes contention real, but — the §5.1.1 claim — rare:
+    # VO occupancy is short, so most deliveries still find refcount 0
+    assert result.busy_attempts >= 1
+    assert result.busy_attempts <= result.records // 2
+    # bimodal latency: retried commits wait out the period, quiescent
+    # commits stay well under a millisecond (idle-grade, §7.4 territory)
+    assert contended and quick
+    assert min(contended) >= RETRY_PERIOD_MS * 1000
+    assert max(quick) < 1000.0
+
+    benchmark.extra_info["switches"] = result.records
+    benchmark.extra_info["busy_collisions"] = result.busy_attempts
+    benchmark.extra_info["retries"] = total_retries
+
+    try:
+        data = json.loads(RESULT_FILE.read_text())
+    except (OSError, ValueError):
+        data = {}
+    data["switch_under_load"] = {
+        "rounds": ROUNDS,
+        "committed_switches": result.records,
+        "busy_at_delivery": result.busy_attempts,
+        "aborts": result.aborts,
+        "retry_histogram": {str(k): v for k, v in
+                            sorted(result.retry_histogram.items())},
+        "attach_latency_us": result.attach_latency_us,
+        "detach_latency_us": result.detach_latency_us,
+        "contended_mean_ms": (round(statistics.mean(contended) / 1000, 3)
+                              if contended else None),
+        "quiescent_mean_us": round(statistics.mean(quick), 2),
+        "retry_period_ms": RETRY_PERIOD_MS,
+        "kbuild_elapsed_s": round(result.kbuild_elapsed_us / 1e6, 4),
+        "iperf_mbit_s": round(result.iperf_mbit_s, 1),
+    }
+    RESULT_FILE.write_text(json.dumps(data, indent=2) + "\n")
+
+
+def test_switch_under_load_is_deterministic():
+    """The whole scenario — workload slices, timer events, retries — is a
+    pure function of its parameters: two runs, identical canonical bytes."""
+    first = run_switch_under_load(rounds=ROUNDS)
+    second = run_switch_under_load(rounds=ROUNDS)
+    assert first.canonical_output() == second.canonical_output()

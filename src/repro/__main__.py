@@ -7,10 +7,14 @@ Targets:
 - ``switch``              — the §7.4 mode-switch measurement
 - ``trace``               — a traced switch round-trip: text timeline +
   per-phase latency breakdown (``--trace-json FILE`` for chrome://tracing)
+- ``simload``             — the §5.1.1 switch-under-load scenario under the
+  deterministic simulation scheduler; emits canonical output suitable for
+  byte-for-byte diffing (the CI ``sched-determinism`` job runs it twice)
 - ``all``                 — everything, in paper order
 
 Options: ``--quick`` (N-L and X-0 columns only), ``--mem-kb N``,
-``--cpus N`` (trace target), ``--trace-json FILE``.
+``--cpus N`` (trace target), ``--trace-json FILE``, ``--rounds N``
+(simload storm rounds).
 """
 
 from __future__ import annotations
@@ -27,7 +31,8 @@ from repro.bench.runner import (relative_to_native, run_app_suite,
                                 run_lmbench_suite)
 from repro.core.switch import Direction
 
-TARGETS = ("table1", "table2", "fig3", "fig4", "switch", "trace", "all")
+TARGETS = ("table1", "table2", "fig3", "fig4", "switch", "trace",
+           "simload", "all")
 
 
 def _measure_switch(config) -> tuple[float, float]:
@@ -75,6 +80,19 @@ def _trace_switch(config, num_cpus: int, json_path: str | None) -> None:
               f"(load in chrome://tracing or Perfetto)")
 
 
+def _simload(rounds: int) -> None:
+    """Run the switch-under-load scenario and print its canonical output.
+
+    Everything printed is a pure function of the parameters; run twice and
+    ``diff`` to check scheduler determinism."""
+    from repro.bench.underload import run_switch_under_load
+    from repro.hw.machine import reset_machine_ids
+
+    reset_machine_ids()
+    result = run_switch_under_load(rounds=rounds)
+    sys.stdout.write(result.canonical_output())
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -89,6 +107,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--trace-json", metavar="FILE", default=None,
                         help="also write the trace target's events as "
                              "Chrome trace_event JSON")
+    parser.add_argument("--rounds", type=int, default=5,
+                        help="attach/detach rounds for the simload target "
+                             "(default 5)")
     args = parser.parse_args(argv)
 
     keys = ("N-L", "X-0") if args.quick else CONFIG_KEYS
@@ -126,6 +147,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.target == "trace":  # deliberately not part of "all"
         _trace_switch(config, num_cpus=args.cpus, json_path=args.trace_json)
         print()
+    if args.target == "simload":  # canonical output: not part of "all"
+        _simload(rounds=args.rounds)
     return 0
 
 

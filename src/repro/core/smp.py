@@ -68,6 +68,17 @@ class SmpCoordinator:
         self.go_flag = False
         self.done_count = 0
 
+    def _make_ack(self, c: "Cpu") -> Callable[[], None]:
+        """The secondary's IPI acknowledgement: consume the vector, mask,
+        charge the refcount check, bump the shared counter."""
+        def ack() -> None:
+            clock = self.machine.clock
+            self.machine.intc.consume_vector(c.cpu_id, VEC_SV_RENDEZVOUS)
+            c.interrupts_enabled = False
+            clock.advance(c.cost.cyc_refcount_check)
+            self.ready_count += 1
+        return ack
+
     def coordinated_switch(self, cp: "Cpu",
                            cp_work: Callable[["Cpu"], None],
                            secondary_work: Callable[["Cpu"], None]
@@ -100,21 +111,28 @@ class SmpCoordinator:
 
             try:
                 # 2. each secondary receives the IPI (in parallel), masks
-                # its own interrupts, and bumps the shared count; the CP
-                # spins until the count covers every CPU
+                # its own interrupts, and bumps the shared count.  Each
+                # acknowledgement is a *scheduled event* on the shared
+                # clock at the cycle the serial handshake reaches that
+                # core; the CP, spinning on the count, drives exactly
+                # those events to their deadlines.  Targeted
+                # :meth:`Clock.fire` (not ``run_due``) keeps unrelated due
+                # timers from running inside the masked rendezvous window.
                 with trace.span(cp.cpu_id, "smp.gather"):
+                    acks = []
                     if reached:
-                        clock.advance(cost.cyc_ipi_deliver)
+                        deadline = clock.cycles + cost.cyc_ipi_deliver
                         for c in reached:
                             if faults.fire(faults.IPI_DELAYED,
                                            cpu_id=c.cpu_id):
-                                clock.advance(cost.cyc_ipi_deliver *
-                                              IPI_DELAY_FACTOR)
-                            self.machine.intc.consume_vector(
-                                c.cpu_id, VEC_SV_RENDEZVOUS)
-                            c.interrupts_enabled = False
-                            clock.advance(cost.cyc_refcount_check)
-                            self.ready_count += 1
+                                deadline += (cost.cyc_ipi_deliver *
+                                             IPI_DELAY_FACTOR)
+                            acks.append(clock.schedule(
+                                deadline - clock.cycles,
+                                self._make_ack(c)))
+                            deadline += cost.cyc_refcount_check
+                    for handle in acks:
+                        clock.fire(handle)
                     if faults.fire(faults.RENDEZVOUS_TIMEOUT):
                         raise RendezvousTimeout(
                             f"injected: gather stalled at {self.ready_count}"

@@ -45,6 +45,7 @@ from repro.hw.interrupts import VEC_SV_ATTACH, VEC_SV_DETACH
 
 if TYPE_CHECKING:
     from repro.core.mercury import Mercury
+    from repro.hw.clock import TimerHandle
     from repro.hw.cpu import Cpu
 
 #: initial retry period for a busy/faulted switch (§5.1.1: "every time
@@ -116,6 +117,10 @@ class ModeSwitchEngine:
         self.max_retries = max_retries
         #: per-direction in-flight attempts (retry timers armed)
         self._pending: dict[Direction, PendingSwitch] = {}
+        #: armed backoff timers, cancelled on commit/stale-drop so a retry
+        #: never outlives the switch it was armed for (the PR-2 stale-timer
+        #: bug class, closed structurally rather than by gate checks)
+        self._retry_timers: dict[Direction, "TimerHandle"] = {}
         #: lifetime count of requests that found the VO busy
         self.failed_attempts = 0
         #: attempts unwound back to the pre-switch mode (mid-transfer
@@ -173,6 +178,17 @@ class ModeSwitchEngine:
         self.machine.intc.raise_vector(cpu.cpu_id, vector)
         self.machine.poll()
 
+    def request_async(self, direction: Direction,
+                      cpu: Optional["Cpu"] = None) -> None:
+        """Raise the switch vector without polling.  Delivery happens at
+        the machine's next interrupt window — which, under the simulation
+        scheduler, is wherever the running workload happens to be.  This
+        is how contended-switch scenarios land requests mid-syscall."""
+        cpu = cpu or self.machine.boot_cpu
+        vector = (VEC_SV_ATTACH if direction is Direction.TO_VIRTUAL
+                  else VEC_SV_DETACH)
+        self.machine.intc.raise_vector(cpu.cpu_id, vector)
+
     # ------------------------------------------------------------------
     # interrupt handlers
     # ------------------------------------------------------------------
@@ -199,11 +215,13 @@ class ModeSwitchEngine:
         if direction is Direction.TO_VIRTUAL and mercury.vmm.active and \
                 mercury.kernel.vo is mercury.virtual_vo:
             self._pending.pop(direction, None)
+            self._cancel_retry(direction)
             trace.instant(cpu.cpu_id, "switch.stale-drop")
             return
         if direction is Direction.TO_NATIVE and \
                 mercury.kernel.vo is mercury.native_vo:
             self._pending.pop(direction, None)
+            self._cancel_retry(direction)
             trace.instant(cpu.cpu_id, "switch.stale-drop")
             return
 
@@ -215,7 +233,8 @@ class ModeSwitchEngine:
                 mercury.kernel.vo.busy()
         if busy:
             self.failed_attempts += 1
-            trace.instant(cpu.cpu_id, "switch.busy")
+            trace.instant(cpu.cpu_id, "switch.busy",
+                          refcount=mercury.kernel.vo.refcount)
             self._retry_or_abort(cpu, direction, cause=None)
             return
 
@@ -233,11 +252,18 @@ class ModeSwitchEngine:
             self._retry_or_abort(cpu, direction, cause=exc)
             return
         self.records.append(record)
+        self._cancel_retry(direction)
         trace.instant(cpu.cpu_id, "switch.committed",
                       direction=direction.value, cycles=record.cycles)
         retries = record.retries
         self.retry_histogram[retries] = \
             self.retry_histogram.get(retries, 0) + 1
+
+    def _cancel_retry(self, direction: Direction) -> None:
+        """Disarm any backoff timer still pending for ``direction``."""
+        handle = self._retry_timers.pop(direction, None)
+        if handle is not None:
+            handle.cancel()
 
     def _retry_or_abort(self, cpu: "Cpu", direction: Direction,
                         cause: Optional[Exception]) -> None:
@@ -247,6 +273,7 @@ class ModeSwitchEngine:
                                            PendingSwitch(direction))
         if attempt.retries >= self.max_retries:
             self._pending.pop(direction, None)
+            self._cancel_retry(direction)
             self.switch_aborts += 1
             if cause is None:
                 # busy-abort: nothing was transferred, but the pending
@@ -265,7 +292,8 @@ class ModeSwitchEngine:
         vector = (VEC_SV_ATTACH if direction is Direction.TO_VIRTUAL
                   else VEC_SV_DETACH)
         period_cycles = delay_ms * 1000 * cpu.cost.freq_mhz
-        self.machine.clock.schedule(
+        self._cancel_retry(direction)  # at most one armed timer per direction
+        self._retry_timers[direction] = self.machine.clock.schedule(
             period_cycles,
             lambda: self.machine.intc.raise_vector(cpu.cpu_id, vector))
 

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
 from repro.errors import ConsistencyViolation
+from repro.sim.scheduler import preempt_point
 
 if TYPE_CHECKING:
     from repro.hw.cpu import Cpu
@@ -51,6 +52,15 @@ def sensitive(fn):
     Wraps the method with entry/exit reference counting and charges the
     function-table indirection cost to the issuing CPU.  The first
     positional argument of every sensitive method is the CPU doing the work.
+
+    Under a running :class:`~repro.sim.scheduler.SimScheduler` the wrapper
+    is also an interrupt window: before releasing the refcount it services
+    timer deadlines that landed while the method ran.  A mode-switch
+    request delivered there observes ``refcount >= 1`` — the genuine
+    some-CPU-is-inside-sensitive-code race of §5.1.1 — and must retry.
+    (The window sits *before* :meth:`VirtualizationObject.exit` so the
+    count still covers this call; it never sits before ``enter``, where a
+    commit could swap the VO under an already-bound method.)
     """
 
     @functools.wraps(fn)
@@ -59,6 +69,7 @@ def sensitive(fn):
         try:
             return fn(self, cpu, *args, **kwargs)
         finally:
+            preempt_point(cpu)
             self.exit(cpu)
 
     wrapper.__sensitive__ = True

@@ -24,6 +24,7 @@ from repro.guestos.drivers import NativeBlockDriver, NativeNetDriver
 from repro.hw.cpu import SegmentDescriptor
 from repro.hw.interrupts import Idt, VEC_DISK, VEC_NET, VEC_TIMER
 from repro.params import PAGE_SIZE
+from repro.sim.scheduler import preempt_point as sim_preempt_point
 
 if TYPE_CHECKING:
     from repro.core.vobject import VirtualizationObject
@@ -163,10 +164,19 @@ class Kernel:
     def user_compute(self, cpu: "Cpu", us: float) -> None:
         """Pure user computation (direct execution — identical in every
         mode, which is why CPU-bound work shows no virtualization loss)."""
-        cycles = int(us * cpu.cost.freq_mhz)
+        self.user_compute_cycles(cpu, int(us * cpu.cost.freq_mhz))
+
+    def user_compute_cycles(self, cpu: "Cpu", cycles: int) -> None:
+        """Cycle-exact variant; chunked workload tasks use it so a sliced
+        compute charges the same total as the unsliced one.  The end of a
+        compute burst is an interrupt window: under the simulation
+        scheduler, timer deadlines that landed during the burst are
+        serviced here — with the VO refcount at zero, so a pending mode
+        switch can commit mid-workload, as §4.3 requires."""
         cpu.charge(cycles)
         if self.scheduler.current is not None:
             self.scheduler.current.utime_cycles += cycles
+        sim_preempt_point(cpu)
 
     def touch_pages(self, cpu: "Cpu", task: Task, base: int, npages: int,
                     write: bool = True, stride: int = PAGE_SIZE) -> None:

@@ -78,6 +78,22 @@ class Scheduler:
         self.current = to_task
         self.switches += 1
 
+    def ensure_running(self, cpu: "Cpu", task: Task) -> None:
+        """Make ``task`` the current task if it is not already — the
+        re-entry path the simulation scheduler uses when it resumes a
+        workload whose guest process was switched away between slices.
+        Enters the kernel (the resume is user-initiated, like any context
+        switch) and pays the full switch cost; a no-op when ``task`` is
+        already current or has exited."""
+        if task is self.current or task.state == TaskState.ZOMBIE:
+            return
+        vo = self.kernel.vo
+        vo.kernel_entry(cpu)
+        try:
+            self.context_switch(cpu, task)
+        finally:
+            vo.kernel_exit(cpu)
+
     def yield_to_next(self, cpu: "Cpu") -> Optional[Task]:
         """sched_yield: move on to the next READY task (if any)."""
         nxt = self.pick_next()

@@ -18,16 +18,46 @@ from repro.hw.memory import PhysicalMemory
 from repro.params import MachineConfig
 
 
+class MachineIdAllocator:
+    """Deterministic source of machine ordinals.
+
+    Machine names (``machine{n}``) and NIC addresses (``10.0.0.{n+1}``)
+    derive from the ordinal, so identity must depend only on construction
+    order *within a scenario* — never on how many machines earlier tests
+    happened to build.  Scenarios needing full isolation pass their own
+    allocator; the test suite resets the process-default one before every
+    test."""
+
+    def __init__(self):
+        self._next = 0
+
+    def allocate(self) -> int:
+        seq = self._next
+        self._next += 1
+        return seq
+
+    def reset(self) -> None:
+        self._next = 0
+
+
+#: process-default allocator, used when a Machine is built without one
+_MACHINE_IDS = MachineIdAllocator()
+
+
+def reset_machine_ids() -> None:
+    """Restart default machine numbering (test fixtures call this)."""
+    _MACHINE_IDS.reset()
+
+
 class Machine:
     """One simulated physical machine."""
 
-    _next_id = 0
-
     def __init__(self, config: Optional[MachineConfig] = None,
-                 clock: Optional[Clock] = None, name: str = ""):
+                 clock: Optional[Clock] = None, name: str = "",
+                 ids: Optional[MachineIdAllocator] = None):
         self.config = config or MachineConfig()
-        self.name = name or f"machine{Machine._next_id}"
-        Machine._next_id += 1
+        seq = (ids or _MACHINE_IDS).allocate()
+        self.name = name or f"machine{seq}"
         self.clock = clock or Clock(freq_mhz=self.config.cost.freq_mhz)
         if self.clock.freq_mhz != self.config.cost.freq_mhz:
             raise HardwareError("shared clock frequency mismatch")
@@ -35,7 +65,8 @@ class Machine:
         self.intc = InterruptController(self)
         self.cpus = [Cpu(i, self) for i in range(self.config.num_cpus)]
         self.disk = BlockDevice(self, name="sda")
-        self.nic = Nic(self, name="eth0", addr=f"10.0.0.{Machine._next_id}")
+        # historical numbering: machine0's NIC is 10.0.0.1
+        self.nic = Nic(self, name="eth0", addr=f"10.0.0.{seq + 1}")
         self.timer = TimerDevice(self, hz=self.config.timer_hz)
         #: set by scenario code when the box "fails" (machine check)
         self.failed = False

@@ -1,0 +1,29 @@
+"""Deterministic cooperative simulation scheduler.
+
+The substrate that lets run-to-completion layers *interleave*: workloads
+become generator tasks yielding at syscall/IO/compute boundaries, the
+switch engine's retry timer and device events fire between (and inside)
+slices, and a mode switch can genuinely observe a nonzero VO refcount
+because another task is mid-sensitive-call — the live-application race of
+§4.3 that the refcount-gated commit (§5.1.1) exists for.
+
+Determinism contract: everything that can run is ordered by
+``(cycle deadline, FIFO seq)`` where the seq is a ticket from the shared
+:class:`~repro.hw.clock.Clock` counter.  No wall clock, no randomness, no
+dict-order dependence — two runs of the same scenario produce bit-identical
+traces and metrics.
+
+Sequential entry points stay sequential: :func:`run_to_completion` drives a
+workload generator without a scheduler installed, which is cycle-identical
+to the pre-generator code path.
+"""
+
+from repro.sim.task import Join, SimState, SimTask, Sleep, WaitFor, Yield
+from repro.sim.scheduler import (SimDeadlock, SimError, SimScheduler, active,
+                                 preempt_point, run_to_completion)
+
+__all__ = [
+    "Join", "SimState", "SimTask", "Sleep", "WaitFor", "Yield",
+    "SimDeadlock", "SimError", "SimScheduler", "active", "preempt_point",
+    "run_to_completion",
+]

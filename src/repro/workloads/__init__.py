@@ -12,8 +12,14 @@ Synthetic but path-faithful versions of the suites the paper measures:
 Every workload drives a :class:`~repro.guestos.kernel.Kernel` through real
 system calls; no workload knows which of the six configurations it runs
 under.
+
+Every workload is a generator task (``*_task``) yielding at syscall/IO/
+compute boundaries, plus a sequential ``run_*`` wrapper that drives the
+generator to completion — cycle-identical to the old inline code.  Under
+:class:`repro.sim.SimScheduler` the task forms interleave with each other
+and with mode switches.
 """
 
-from repro.workloads.lmbench import LmbenchResults, run_lmbench
+from repro.workloads.lmbench import LmbenchResults, lmbench_task, run_lmbench
 
-__all__ = ["LmbenchResults", "run_lmbench"]
+__all__ = ["LmbenchResults", "lmbench_task", "run_lmbench"]

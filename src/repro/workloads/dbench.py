@@ -14,9 +14,10 @@ knows about that; the inversion falls out of the driver stack.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Generator
 
 from repro.guestos.fs import BLOCK_SIZE
+from repro.sim import run_to_completion
 
 if TYPE_CHECKING:
     from repro.guestos.kernel import Kernel
@@ -45,11 +46,12 @@ class DbenchResult:
         return self.notifies_suppressed / total if total else 0.0
 
 
-def run_dbench(kernel: "Kernel", cpu: "Cpu", clients: int = 4,
-               files_per_client: int = 6, writes_per_file: int = 8,
-               writeback_every: int = 64,
-               writeback_blocks: int = 2) -> DbenchResult:
-    """Run the op mix; returns the throughput result.
+def dbench_task(kernel: "Kernel", cpu: "Cpu", clients: int = 4,
+                files_per_client: int = 6, writes_per_file: int = 8,
+                writeback_every: int = 64, writeback_blocks: int = 2
+                ) -> Generator[None, None, DbenchResult]:
+    """Run the op mix; returns the throughput result.  Yields once per
+    file worked (a client "thinks" between files).
 
     Like real dbench, the fileset lives in the page cache and there are no
     fsyncs; the device sees only the background writeback that pdflush
@@ -93,6 +95,7 @@ def run_dbench(kernel: "Kernel", cpu: "Cpu", clients: int = 4,
                 ops += 1
             kernel.syscall(cpu, "stat", path)
             ops += 1
+            yield
         # delete half the files, netbench-style churn
         for path, fd in created[::2]:
             kernel.syscall(cpu, "close", fd)
@@ -101,9 +104,21 @@ def run_dbench(kernel: "Kernel", cpu: "Cpu", clients: int = 4,
         for path, fd in created[1::2]:
             kernel.syscall(cpu, "close", fd)
             ops += 1
+        yield
     elapsed = cpu.cost.us(cpu.rdtsc() - t0)
     return DbenchResult(
         clients=clients, ops=ops, bytes_moved=bytes_moved,
         elapsed_us=elapsed,
         notifies_sent=(io.notifies_sent - sent0) if io else 0,
         notifies_suppressed=(io.notifies_suppressed - supp0) if io else 0)
+
+
+def run_dbench(kernel: "Kernel", cpu: "Cpu", clients: int = 4,
+               files_per_client: int = 6, writes_per_file: int = 8,
+               writeback_every: int = 64,
+               writeback_blocks: int = 2) -> DbenchResult:
+    """Sequential entry point: drive :func:`dbench_task` to completion."""
+    return run_to_completion(dbench_task(
+        kernel, cpu, clients=clients, files_per_client=files_per_client,
+        writes_per_file=writes_per_file, writeback_every=writeback_every,
+        writeback_blocks=writeback_blocks))

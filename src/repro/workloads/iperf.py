@@ -11,9 +11,10 @@ simulated time; ping is the ICMP echo RTT measured by the sender's stack.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Generator
 
 from repro.guestos.net import MSS, TCP_WINDOW
+from repro.sim import run_to_completion
 
 if TYPE_CHECKING:
     from repro.guestos.kernel import Kernel
@@ -51,9 +52,12 @@ def _io_stats(kernel: "Kernel"):
     return getattr(getattr(kernel.vo, "vmm", None), "io_stats", None)
 
 
-def run_iperf(sender: "Kernel", receiver: "Kernel", proto: str = "tcp",
-              total_bytes: int = 2 * 1024 * 1024) -> IperfResult:
-    """Bulk transfer from ``sender`` to ``receiver``."""
+def iperf_task(sender: "Kernel", receiver: "Kernel", proto: str = "tcp",
+               total_bytes: int = 2 * 1024 * 1024
+               ) -> Generator[None, None, IperfResult]:
+    """Bulk transfer from ``sender`` to ``receiver``, yielding once per
+    send window (the natural blocking point of a real sender: the socket
+    buffer is full until the window drains)."""
     s_cpu = sender.machine.boot_cpu
     r_cpu = receiver.machine.boot_cpu
     s_sock = sender.syscall(s_cpu, "socket", proto)
@@ -81,12 +85,20 @@ def run_iperf(sender: "Kernel", receiver: "Kernel", proto: str = "tcp",
             rtt_ns = 2 * s_cpu.cost.net_latency_ns
             clock.advance(int(s_cpu.cost.cycles_from_ns(rtt_ns)))
             _drain_both(sender, receiver)
+        yield
     elapsed = s_cpu.cost.us(clock.cycles - t0)
     return IperfResult(
         proto=proto, bytes_sent=sent, elapsed_us=elapsed,
         packets_sent=packets,
         notifies_sent=(io.notifies_sent - sent0) if io else 0,
         notifies_suppressed=(io.notifies_suppressed - supp0) if io else 0)
+
+
+def run_iperf(sender: "Kernel", receiver: "Kernel", proto: str = "tcp",
+              total_bytes: int = 2 * 1024 * 1024) -> IperfResult:
+    """Sequential entry point: drive :func:`iperf_task` to completion."""
+    return run_to_completion(iperf_task(sender, receiver, proto=proto,
+                                        total_bytes=total_bytes))
 
 
 def run_ping(sender: "Kernel", receiver: "Kernel", count: int = 5) -> float:

@@ -18,10 +18,11 @@ guest's RDTSC exactly as lmbench uses the cycle counter.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Generator
 
 from repro.errors import SyscallError
 from repro.params import PAGE_SIZE
+from repro.sim import run_to_completion
 
 if TYPE_CHECKING:
     from repro.guestos.kernel import Kernel
@@ -192,16 +193,33 @@ def bench_page_fault(kernel: "Kernel", cpu: "Cpu", iters: int = 64) -> float:
 # the full suite
 # ---------------------------------------------------------------------------
 
-def run_lmbench(kernel: "Kernel", cpu: "Cpu") -> LmbenchResults:
-    """Run every row of Table 1/2 and return the latencies."""
+def lmbench_task(kernel: "Kernel", cpu: "Cpu"
+                 ) -> Generator[None, None, LmbenchResults]:
+    """Run every row of Table 1/2 and return the latencies.  Rows are
+    RDTSC-timed tight loops, so yields sit only *between* rows — a
+    concurrent event may land between benchmarks but never skews a
+    latency measurement's timing window."""
     results = LmbenchResults()
     results.rows["Fork Process"] = bench_fork(kernel, cpu)
+    yield
     results.rows["Exec Process"] = bench_exec(kernel, cpu)
+    yield
     results.rows["Sh Process"] = bench_sh(kernel, cpu)
+    yield
     results.rows["Ctx (2p/0k)"] = bench_ctx(kernel, cpu, 2, 0)
+    yield
     results.rows["Ctx (16p/16k)"] = bench_ctx(kernel, cpu, 16, 16)
+    yield
     results.rows["Ctx (16p/64k)"] = bench_ctx(kernel, cpu, 16, 64)
+    yield
     results.rows["Mmap LT"] = bench_mmap(kernel, cpu)
+    yield
     results.rows["Prot Fault"] = bench_prot_fault(kernel, cpu)
+    yield
     results.rows["Page Fault"] = bench_page_fault(kernel, cpu)
     return results
+
+
+def run_lmbench(kernel: "Kernel", cpu: "Cpu") -> LmbenchResults:
+    """Sequential entry point: drive :func:`lmbench_task` to completion."""
+    return run_to_completion(lmbench_task(kernel, cpu))

@@ -13,9 +13,10 @@ paper reports.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Generator
 
 from repro.guestos.fs import BLOCK_SIZE
+from repro.sim import run_to_completion
 
 if TYPE_CHECKING:
     from repro.guestos.kernel import Kernel
@@ -60,10 +61,14 @@ def _populate(kernel: "Kernel", cpu: "Cpu", rows: int) -> tuple[int, int]:
     return heap_fd, index_fd
 
 
-def run_osdb_ir(kernel: "Kernel", cpu: "Cpu", rows: int = 4096,
-                queries: int = 200, seed: int = 7) -> OsdbResult:
-    """Populate the database, then run ``queries`` random point lookups."""
+def osdb_ir_task(kernel: "Kernel", cpu: "Cpu", rows: int = 4096,
+                 queries: int = 200, seed: int = 7
+                 ) -> Generator[None, None, OsdbResult]:
+    """Populate the database, then run ``queries`` random point lookups.
+    Yields after the populate phase and between queries (a real client
+    round-trips to the server per query)."""
     heap_fd, index_fd = _populate(kernel, cpu, rows)
+    yield
     heap_blocks = (rows + TUPLES_PER_BLOCK - 1) // TUPLES_PER_BLOCK
     index_blocks = max(1, heap_blocks // 16)
 
@@ -95,6 +100,7 @@ def run_osdb_ir(kernel: "Kernel", cpu: "Cpu", rows: int = 4096,
         kernel.syscall(cpu, "read", heap_fd, BLOCK_SIZE)
         # evaluate: tuple deforming + predicate, a few µs of user time
         kernel.user_compute(cpu, 4.0)
+        yield
     elapsed = cpu.cost.us(cpu.rdtsc() - t0)
 
     kernel.syscall(cpu, "close", heap_fd)
@@ -105,6 +111,13 @@ def run_osdb_ir(kernel: "Kernel", cpu: "Cpu", rows: int = 4096,
         cache_misses=kernel.fs.cache.misses - misses0,
         notifies_sent=(io.notifies_sent - sent0) if io else 0,
         notifies_suppressed=(io.notifies_suppressed - supp0) if io else 0)
+
+
+def run_osdb_ir(kernel: "Kernel", cpu: "Cpu", rows: int = 4096,
+                queries: int = 200, seed: int = 7) -> OsdbResult:
+    """Sequential entry point: drive :func:`osdb_ir_task` to completion."""
+    return run_to_completion(osdb_ir_task(kernel, cpu, rows=rows,
+                                          queries=queries, seed=seed))
 
 
 def run_osdb_mixed(kernel: "Kernel", cpu: "Cpu", rows: int = 4096,

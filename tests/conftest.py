@@ -8,7 +8,15 @@ from repro import Machine, Mercury, small_config
 from repro.core.accounting import AccountingStrategy
 from repro.core.native_vo import NativeVO
 from repro.guestos.kernel import Kernel
+from repro.hw.machine import reset_machine_ids
 from repro.vmm.hypervisor import Hypervisor
+
+
+def pytest_runtest_setup(item):
+    # machine names/NIC addresses must not depend on how many machines
+    # earlier tests built (a plain hook, not an autouse fixture, so
+    # hypothesis's function_scoped_fixture health check stays quiet)
+    reset_machine_ids()
 
 
 @pytest.fixture

@@ -1,6 +1,7 @@
 """Clock: cycle accounting and the timer event queue."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.hw.clock import Clock
 
@@ -102,3 +103,167 @@ def test_schedule_us():
     assert c.run_due() == 0
     c.advance(1)
     assert c.run_due() == 1
+
+
+# ----------------------------------------------------------------------
+# TimerHandle: cancellation and one-shot semantics
+# ----------------------------------------------------------------------
+
+def test_schedule_returns_pending_handle():
+    c = Clock()
+    h = c.schedule(100, lambda: None)
+    assert h.pending and not h.fired and not h.cancelled
+    assert h.deadline == 100
+
+
+def test_cancelled_handle_never_fires():
+    c = Clock()
+    fired = []
+    h = c.schedule(100, lambda: fired.append(1))
+    assert h.cancel() is True
+    c.advance(200)
+    assert c.run_due() == 0
+    assert fired == []
+    assert h.cancelled and not h.fired
+
+
+def test_cancel_after_fire_reports_false():
+    c = Clock()
+    h = c.schedule(10, lambda: None)
+    c.advance(10)
+    c.run_due()
+    assert h.fired
+    assert h.cancel() is False
+
+
+def test_double_cancel_reports_false():
+    c = Clock()
+    h = c.schedule(10, lambda: None)
+    assert h.cancel() is True
+    assert h.cancel() is False
+
+
+def test_cancelled_head_does_not_mask_later_events():
+    c = Clock()
+    fired = []
+    early = c.schedule(50, lambda: fired.append("early"))
+    c.schedule(100, lambda: fired.append("late"))
+    early.cancel()
+    assert c.next_deadline() == 100  # pruned past the cancelled head
+    c.advance(100)
+    c.run_due()
+    assert fired == ["late"]
+
+
+def test_peek_returns_earliest_pending_without_firing():
+    c = Clock()
+    fired = []
+    c.schedule(200, lambda: fired.append("late"))
+    h = c.schedule(100, lambda: fired.append("early"))
+    assert c.peek() is h
+    assert fired == []
+
+
+def test_fire_targets_one_handle_and_advances_time():
+    c = Clock()
+    fired = []
+    c.schedule(50, lambda: fired.append("other"))
+    h = c.schedule(300, lambda: fired.append("mine"))
+    assert c.fire(h) is True
+    # only the targeted handle ran, even though "other" was due first
+    assert fired == ["mine"]
+    assert c.cycles == 300
+    assert c.fire(h) is False  # one-shot
+    c.run_due()
+    assert fired == ["mine", "other"]
+
+
+def test_event_scheduled_from_inside_event_respects_deadline():
+    c = Clock()
+    fired = []
+
+    def outer():
+        fired.append(("outer", c.cycles))
+        c.schedule(100, lambda: fired.append(("inner", c.cycles)))
+
+    c.schedule(10, outer)
+    c.advance(10)
+    assert c.run_due() == 1  # inner deadline (110) not yet reached
+    c.advance(100)
+    assert c.run_due() == 1
+    assert fired == [("outer", 10), ("inner", 110)]
+
+
+def test_zero_delay_event_from_inside_event_fires_same_poll():
+    c = Clock()
+    fired = []
+    c.schedule(10, lambda: c.schedule(0, lambda: fired.append(1)))
+    c.advance(10)
+    assert c.run_due() == 2  # chained event is due at the same cycle
+    assert fired == [1]
+
+
+# ----------------------------------------------------------------------
+# ordering properties: (deadline, seq) is the whole contract
+# ----------------------------------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(delays=st.lists(st.integers(min_value=0, max_value=1000),
+                       min_size=1, max_size=30))
+def test_firing_order_is_deadline_then_fifo(delays):
+    c = Clock()
+    fired = []
+    for i, d in enumerate(delays):
+        c.schedule(d, lambda i=i: fired.append(i))
+    c.advance(1001)
+    assert c.run_due() == len(delays)
+    # stable sort by deadline == (deadline, schedule order)
+    expect = [i for i, _ in sorted(enumerate(delays), key=lambda p: p[1])]
+    assert fired == expect
+
+
+@settings(max_examples=60, deadline=None)
+@given(delays=st.lists(st.integers(min_value=0, max_value=500),
+                       min_size=1, max_size=20),
+       cancel_mask=st.lists(st.booleans(), min_size=20, max_size=20))
+def test_cancellation_preserves_order_of_survivors(delays, cancel_mask):
+    c = Clock()
+    fired = []
+    handles = [c.schedule(d, lambda i=i: fired.append(i))
+               for i, d in enumerate(delays)]
+    for h, dead in zip(handles, cancel_mask):
+        if dead:
+            h.cancel()
+    c.advance(501)
+    c.run_due()
+    expect = [i for i, _ in sorted(enumerate(delays), key=lambda p: p[1])
+              if not cancel_mask[i]]
+    assert fired == expect
+
+
+@settings(max_examples=40, deadline=None)
+@given(plan=st.lists(st.tuples(st.integers(min_value=0, max_value=300),
+                               st.integers(min_value=0, max_value=300)),
+                     min_size=1, max_size=12))
+def test_events_scheduled_from_inside_events_keep_global_order(plan):
+    """Each (outer, extra) pair schedules a child event from inside its
+    parent; every firing timestamp must be the event's own deadline and
+    the global firing sequence must be monotone in time."""
+    c = Clock()
+    fired = []
+
+    def make_parent(outer, extra):
+        def parent():
+            fired.append(("p", outer, c.cycles))
+            c.schedule(extra, lambda: fired.append(
+                ("c", outer + extra, c.cycles)))
+        return parent
+
+    for outer, extra in plan:
+        c.schedule(outer, make_parent(outer, extra))
+    c.drain_until_idle()
+    assert len(fired) == 2 * len(plan)
+    for _, deadline, at in fired:
+        assert at == deadline
+    times = [at for _, _, at in fired]
+    assert times == sorted(times)

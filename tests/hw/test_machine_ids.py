@@ -1,0 +1,51 @@
+"""Machine identity: ordinals come from an allocator, not hidden class
+state, so names and NIC addresses depend only on construction order."""
+
+from repro import Machine, small_config
+from repro.hw.machine import MachineIdAllocator, reset_machine_ids
+
+
+def test_default_names_and_addresses_are_ordinal():
+    m0 = Machine(small_config())
+    m1 = Machine(small_config())
+    assert m0.name == "machine0"
+    assert m1.name == "machine1"
+    assert m0.nic.addr == "10.0.0.1"
+    assert m1.nic.addr == "10.0.0.2"
+
+
+def test_reset_makes_construction_order_reproducible():
+    a = Machine(small_config())
+    reset_machine_ids()
+    b = Machine(small_config())
+    # same ordinal twice: identity depends on order since the last reset,
+    # never on how many machines the process built before it
+    assert a.name == b.name == "machine0"
+    assert a.nic.addr == b.nic.addr == "10.0.0.1"
+
+
+def test_private_allocator_isolates_a_scenario():
+    ids = MachineIdAllocator()
+    s0 = Machine(small_config(), ids=ids)
+    s1 = Machine(small_config(), ids=ids)
+    assert (s0.name, s1.name) == ("machine0", "machine1")
+    # the process-default allocator never saw those allocations
+    d = Machine(small_config())
+    assert d.name == "machine0"
+
+
+def test_explicit_name_still_consumes_an_ordinal():
+    named = Machine(small_config(), name="alpha")
+    after = Machine(small_config())
+    assert named.name == "alpha"
+    # the NIC address is positional even when the name is not
+    assert named.nic.addr == "10.0.0.1"
+    assert after.name == "machine1"
+    assert after.nic.addr == "10.0.0.2"
+
+
+def test_allocator_reset_restarts_sequence():
+    ids = MachineIdAllocator()
+    assert [ids.allocate() for _ in range(3)] == [0, 1, 2]
+    ids.reset()
+    assert ids.allocate() == 0

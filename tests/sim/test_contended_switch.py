@@ -1,0 +1,104 @@
+"""Acceptance: a mode switch contends with a *real* running workload.
+
+The fault-injection suite proves the retry protocol against synthetic
+``REFCOUNT_STUCK`` plans; this suite proves it against the genuine article.
+Under the simulation scheduler, kbuild and iperf cross sensitive-code
+windows (syscalls, context switches, page-table updates) whose preempt
+point sits *before* the VO refcount is released — so an attach delivered
+there observes ``refcount > 0``, arms the §5.1.1 backoff timer, and commits
+only on a later, quiescent delivery.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.underload import run_switch_under_load
+
+
+@pytest.fixture(scope="module")
+def contended():
+    # small but reliably contended: the first storm rounds land while
+    # kbuild slices still hold the work CPU
+    return run_switch_under_load(files=6, rounds=3)
+
+
+def test_attach_observes_workload_refcount(contended):
+    """The busy observations are genuine: each records the nonzero VO
+    refcount held by a workload inside sensitive code — no fault plan is
+    installed anywhere in this scenario."""
+    busy = [e for e in contended.trace_events if e.name == "switch.busy"]
+    assert busy, "no switch ever found the VO busy"
+    assert all(e.args["refcount"] > 0 for e in busy)
+    assert contended.busy_attempts == len(busy)
+
+
+def test_busy_switch_retries_via_timer_then_commits(contended):
+    """Every busy observation arms the retry timer; every request still
+    commits (zero aborts), and the commits that needed a retry say so."""
+    names = [e.name for e in contended.trace_events]
+    assert names.count("switch.retry-armed") == contended.busy_attempts
+    assert contended.busy_attempts >= 1
+    assert contended.aborts == 0
+    assert contended.records == 2 * contended.rounds
+    retried = [r for r in contended.per_switch_retries if r >= 1]
+    assert len(retried) == contended.busy_attempts
+    # the retry histogram tells the same story as the per-record counts
+    assert contended.retry_histogram.get(0, 0) + len(retried) == \
+        contended.records
+
+
+def test_trace_interleaves_busy_inside_workload_span(contended):
+    """Order within the trace: each busy instant happens between a
+    workload slice beginning and the eventual committed instant."""
+    events = contended.trace_events
+    first_busy = next(i for i, e in enumerate(events)
+                      if e.name == "switch.busy")
+    commits_after = [e for e in events[first_busy:]
+                     if e.name == "switch.committed"]
+    slices_before = [e for e in events[:first_busy]
+                     if e.name == "sim.slice" and e.kind == "B"
+                     and e.args and e.args.get("task") in ("kbuild", "iperf")]
+    assert slices_before, "busy observed before any workload ran"
+    assert commits_after, "busy observation never resolved to a commit"
+
+
+def test_contended_latency_dominated_by_retry_period(contended):
+    """A retried attach waits out (at least) the 10 ms retry period; an
+    uncontended one costs ~tens of microseconds.  Both appear here."""
+    freq_khz = contended.freq_mhz * 1000
+    retry_floor_cycles = 10 * freq_khz  # RETRY_PERIOD_MS
+    lats = contended.attach_latency_cycles + contended.detach_latency_cycles
+    retried = [lat for lat, r in zip(lats, _interleaved(contended))
+               if r >= 1]
+    quick = [lat for lat, r in zip(lats, _interleaved(contended)) if r == 0]
+    assert retried and quick
+    assert all(lat >= retry_floor_cycles for lat in retried)
+    assert all(lat < retry_floor_cycles // 10 for lat in quick)
+
+
+def _interleaved(result):
+    """per_switch_retries is in commit order == request order here (each
+    request waits for its commit before the next is issued); re-split it
+    to match attach+detach latency concatenation order."""
+    attach = result.per_switch_retries[0::2]
+    detach = result.per_switch_retries[1::2]
+    return attach + detach
+
+
+def test_workloads_complete_and_mode_round_trips(contended):
+    assert contended.kbuild_elapsed_us > 0
+    assert contended.iperf_mbit_s > 0
+    assert contended.records % 2 == 0  # every attach paired with a detach
+
+
+def test_scenario_is_bit_reproducible(contended):
+    again = run_switch_under_load(files=6, rounds=3)
+    assert again.canonical_output() == contended.canonical_output()
+
+
+def test_minimal_single_round_storm():
+    result = run_switch_under_load(files=4, rounds=1)
+    # one attach + one detach: the machine ends where it started
+    assert result.records == 2
+    assert result.aborts == 0

@@ -1,0 +1,114 @@
+"""Generator conversion safety net: every workload run as a solo task under
+the SimScheduler is cycle-identical to its sequential ``run_*`` wrapper.
+
+This is the invariant that keeps the committed §7 benchmark numbers valid:
+yield points change *where* control can be taken away, never *what* the
+workload costs when nothing takes it."""
+
+from __future__ import annotations
+
+from repro import Machine, small_config
+from repro.bench.configs import BareMetalVO
+from repro.guestos.kernel import Kernel
+from repro.hw.machine import reset_machine_ids
+from repro.sim import SimScheduler
+from repro.workloads.dbench import dbench_task, run_dbench
+from repro.workloads.iperf import iperf_task, run_iperf
+from repro.workloads.kbuild import kbuild_task, run_kbuild
+from repro.workloads.lmbench import lmbench_task, run_lmbench
+from repro.workloads.osdb import osdb_ir_task, run_osdb_ir
+
+
+def _native(mem_kb=131072):
+    m = Machine(small_config(mem_kb=mem_kb))
+    k = Kernel(m, BareMetalVO(m), name="eq-native")
+    k.boot(image_pages=64)
+    return k, m.boot_cpu
+
+
+def _net_pair():
+    a = Machine(small_config())
+    b = Machine(small_config(), clock=a.clock)
+    a.link_to(b)
+    ka = Kernel(a, BareMetalVO(a), name="send")
+    kb = Kernel(b, BareMetalVO(b), name="recv")
+    ka.boot(image_pages=8)
+    kb.boot(image_pages=8)
+    return ka, kb
+
+
+def _solo(task_gen, kernel, cpu):
+    """Run one generator task to completion under a real scheduler."""
+    sched = SimScheduler(kernel.machine)
+    task = sched.spawn(task_gen, name="solo", cpu=cpu, kernel=kernel)
+    sched.run()
+    return task.result
+
+
+def test_kbuild_solo_sim_matches_sequential():
+    reset_machine_ids()
+    k1, c1 = _native()
+    seq = run_kbuild(k1, c1, files=8, link_every=4)
+    seq_cycles = k1.machine.clock.cycles
+
+    reset_machine_ids()
+    k2, c2 = _native()
+    sim = _solo(kbuild_task(k2, c2, files=8, link_every=4), k2, c2)
+    assert k2.machine.clock.cycles == seq_cycles
+    assert sim.elapsed_us == seq.elapsed_us
+    assert (sim.files_compiled, sim.links) == (seq.files_compiled, seq.links)
+
+
+def test_iperf_solo_sim_matches_sequential():
+    reset_machine_ids()
+    ka, kb = _net_pair()
+    seq = run_iperf(ka, kb, proto="tcp", total_bytes=256 * 1024)
+    seq_cycles = ka.machine.clock.cycles
+
+    reset_machine_ids()
+    ka2, kb2 = _net_pair()
+    sim = _solo(iperf_task(ka2, kb2, "tcp", 256 * 1024), ka2,
+                ka2.machine.boot_cpu)
+    assert ka2.machine.clock.cycles == seq_cycles
+    assert sim.mbit_s == seq.mbit_s
+    assert sim.bytes_sent == seq.bytes_sent
+
+
+def test_dbench_solo_sim_matches_sequential():
+    reset_machine_ids()
+    k1, c1 = _native()
+    seq = run_dbench(k1, c1, clients=2, files_per_client=4)
+    seq_cycles = k1.machine.clock.cycles
+
+    reset_machine_ids()
+    k2, c2 = _native()
+    sim = _solo(dbench_task(k2, c2, clients=2, files_per_client=4), k2, c2)
+    assert k2.machine.clock.cycles == seq_cycles
+    assert (sim.ops, sim.bytes_moved, sim.elapsed_us) == \
+        (seq.ops, seq.bytes_moved, seq.elapsed_us)
+
+
+def test_osdb_ir_solo_sim_matches_sequential():
+    reset_machine_ids()
+    k1, c1 = _native()
+    seq = run_osdb_ir(k1, c1, rows=120, queries=30)
+    seq_cycles = k1.machine.clock.cycles
+
+    reset_machine_ids()
+    k2, c2 = _native()
+    sim = _solo(osdb_ir_task(k2, c2, rows=120, queries=30), k2, c2)
+    assert k2.machine.clock.cycles == seq_cycles
+    assert sim.elapsed_us == seq.elapsed_us
+
+
+def test_lmbench_solo_sim_matches_sequential():
+    reset_machine_ids()
+    k1, c1 = _native()
+    seq = run_lmbench(k1, c1)
+    seq_cycles = k1.machine.clock.cycles
+
+    reset_machine_ids()
+    k2, c2 = _native()
+    sim = _solo(lmbench_task(k2, c2), k2, c2)
+    assert k2.machine.clock.cycles == seq_cycles
+    assert sim.rows == seq.rows
