@@ -42,10 +42,9 @@ class BareMetalVO(NativeVO):
     Refcounting is kept (it is free) so shared invariants hold."""
 
     mode_name = "bare"
-
-    def enter(self, cpu) -> None:  # no cyc_vo_indirect charge
-        self.refcount += 1
-        self.entries += 1
+    #: the knob the sensitive wrapper (and enter()) honor — an unmodified
+    #: kernel has no function table to indirect through
+    charges_indirect = False
 
 
 @dataclass

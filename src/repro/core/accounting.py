@@ -11,12 +11,24 @@ ways to have it correct again at the next attach:
   :class:`~repro.core.native_vo.NativeVO`).  The paper measured this at
   2–3% runtime overhead for only a small switch-time saving — the ablation
   benchmark reproduces that trade-off.
+
+:class:`MmuAccounting` sharpens the RECOMPUTE trade-off with a *dirty-root
+set*: at detach it captures, per pinned page-table root, exactly what that
+root contributes to the page-info columns; in native mode every PT
+operation marks its root dirty (a one-bit note folded into the op — unlike
+ACTIVE it maintains no counts and charges no cycles); the next attach then
+revalidates only dirty/new roots, subtracts the captured contribution of
+dead ones, and merely re-pins the clean rest.  First attach, an epoch bump
+(:meth:`~repro.vmm.page_info.PageInfoTable.reset`) or a rolled-back switch
+all distrust the tracker and fall back to the full recompute.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterable
+
+from repro.vmm.page_info import RootContribution
 
 if TYPE_CHECKING:
     from repro.hw.cpu import Cpu
@@ -27,6 +39,109 @@ if TYPE_CHECKING:
 class AccountingStrategy(enum.Enum):
     RECOMPUTE = "recompute"
     ACTIVE = "active"
+
+
+class MmuAccounting:
+    """Dirty-root tracking for the incremental attach recompute.
+
+    State machine: ``trusted`` is True only between a committed detach
+    (which captured per-root contributions) and the next attach commit or
+    rollback.  While native, the VO layer calls the ``on_*`` hooks; they
+    cost zero simulated cycles — the mark is a single bit that rides the
+    PT write itself, which is the point of the design: unlike the ACTIVE
+    strategy there is no per-operation accounting work to charge.
+
+    All state is transactional: :meth:`checkpoint` / :meth:`restore` give
+    the switch undo-log an exact snapshot, so a ``SwitchAborted`` rollback
+    can never leave a phantom-clean root that would dodge revalidation on
+    the retry."""
+
+    def __init__(self):
+        #: pgd frames of roots touched (or created) since the last detach.
+        #: Identity-stable: the VO hot paths cache this very set object, so
+        #: every mutation below is in-place (clear/update), never a rebind.
+        self.dirty: set[int] = set()
+        #: pgd frame -> contribution captured at the last detach
+        self.contributions: dict[int, RootContribution] = {}
+        #: contributions of captured roots destroyed in native mode,
+        #: keyed by their (possibly since-reused) pgd frame
+        self.dead: dict[int, RootContribution] = {}
+        self.trusted = False
+        #: page-info epoch the contributions were captured against
+        self.epoch = -1
+        #: attach statistics (benchmarks and traces read these)
+        self.roots_trusted = 0
+        self.roots_revalidated = 0
+        self.full_recomputes = 0
+
+    # -- native/virtual VO hooks (zero simulated cycles) -----------------
+
+    def on_pt_write(self, aspace: "AddressSpace") -> None:
+        self.dirty.add(aspace.pgd.frame)
+
+    def on_new_root(self, aspace: "AddressSpace") -> None:
+        self.dirty.add(aspace.pgd.frame)
+
+    def on_destroy_root(self, aspace: "AddressSpace") -> None:
+        pgd = aspace.pgd.frame
+        contrib = self.contributions.pop(pgd, None)
+        if contrib is not None:
+            # captured at detach, torn down in native mode: its column
+            # contribution must be subtracted at the next attach
+            self.dead[pgd] = contrib
+        self.dirty.discard(pgd)
+
+    # -- detach: capture -------------------------------------------------
+
+    def capture_at_detach(self, pinned_roots: Iterable["AddressSpace"],
+                          page_info: "PageInfoTable") -> None:
+        """Record the canonical per-root contributions of every root that
+        was pinned when the detach began (an unpinned root has no column
+        contribution and will be validated from scratch at the next
+        attach).  Called after the lazy-MMU drain, so no PT update is
+        still in flight."""
+        self.contributions = {
+            a.pgd.frame: RootContribution.capture(a) for a in pinned_roots
+        }
+        self.dead = {}
+        self.dirty.clear()
+        self.epoch = page_info.epoch
+        self.trusted = True
+
+    # -- attach: trust decision ------------------------------------------
+
+    def can_trust(self, page_info: "PageInfoTable") -> bool:
+        """The columns still hold what the last detach left behind: no
+        rollback distrusted us and nobody reset the table under us."""
+        return self.trusted and self.epoch == page_info.epoch
+
+    def consume(self) -> None:
+        """An attach committed: the table is live again and hypercalls
+        maintain it; captured contributions are spent."""
+        self.contributions = {}
+        self.dead = {}
+        self.dirty.clear()
+        self.trusted = False
+
+    def distrust(self) -> None:
+        self.trusted = False
+
+    # -- transactional snapshot (the switch undo-log seam) ---------------
+
+    def checkpoint(self) -> tuple:
+        return (set(self.dirty), dict(self.contributions), dict(self.dead),
+                self.trusted, self.epoch)
+
+    def restore(self, ck: tuple) -> None:
+        dirty, contributions, dead, trusted, epoch = ck
+        # copy again: one checkpoint may be restored more than once (each
+        # journalled undo step of a transfer loop restores it idempotently)
+        self.dirty.clear()
+        self.dirty.update(dirty)
+        self.contributions = dict(contributions)
+        self.dead = dict(dead)
+        self.trusted = trusted
+        self.epoch = epoch
 
 
 class ActiveAccountant:

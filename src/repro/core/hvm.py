@@ -188,7 +188,7 @@ class HvmMercury:
         """Frames whose protection tripped since logging was enabled
         (simulated via write-enable on first touch)."""
         import numpy as np
-        owned = self.machine.memory.owner == self.ept.domain_id
+        owned = self.machine.memory.owner_np == self.ept.domain_id
         dirty = np.flatnonzero(owned & self.ept.writable)
         self.ept.writable[:] = False
         return [int(f) for f in dirty]

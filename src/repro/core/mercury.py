@@ -17,7 +17,8 @@ from __future__ import annotations
 import enum
 from typing import TYPE_CHECKING, Optional
 
-from repro.core.accounting import AccountingStrategy, ActiveAccountant
+from repro.core.accounting import (AccountingStrategy, ActiveAccountant,
+                                   MmuAccounting)
 from repro.core.native_vo import NativeVO
 from repro.core.precache import PrecacheInfo, precache_vmm
 from repro.core.switch import Direction, ModeSwitchEngine, SwitchRecord
@@ -60,7 +61,8 @@ class Mercury:
     def __init__(self, machine: "Machine",
                  strategy: AccountingStrategy = AccountingStrategy.RECOMPUTE,
                  paging: PagingMode = PagingMode.DIRECT,
-                 charge_boot_time: bool = False):
+                 charge_boot_time: bool = False,
+                 incremental_attach: bool = True):
         self.machine = machine
         self.strategy = strategy
         self.paging = paging
@@ -76,7 +78,13 @@ class Mercury:
             accountant = ActiveAccountant(self.vmm.page_info)
         self.accountant = accountant
 
-        self.native_vo = NativeVO(machine, accountant=accountant)
+        #: dirty-root tracker for the incremental attach recompute (§5.1.2
+        #: sharpened); ``incremental_attach=False`` reproduces the paper's
+        #: full recompute on every attach
+        self.mmu_log = MmuAccounting() if incremental_attach else None
+
+        self.native_vo = NativeVO(machine, accountant=accountant,
+                                  mmu_log=self.mmu_log)
         self.virtual_vo: Optional[VirtualVO] = None
         self.kernel: Optional[Kernel] = None
         self.domain: Optional["Domain"] = None
@@ -124,7 +132,8 @@ class Mercury:
                                                   self.domain, self.pager)
             else:
                 self.virtual_vo = VirtualVO(self.machine, self.vmm,
-                                            self.domain)
+                                            self.domain,
+                                            mmu_log=self.mmu_log)
         return self.domain
 
     # ------------------------------------------------------------------

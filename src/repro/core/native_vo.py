@@ -17,7 +17,7 @@ from repro.hw.cpu import PrivilegeLevel
 from repro.params import PAGE_SIZE
 
 if TYPE_CHECKING:
-    from repro.core.accounting import ActiveAccountant
+    from repro.core.accounting import ActiveAccountant, MmuAccounting
     from repro.hw.devices import BlockRequest, Packet
     from repro.hw.interrupts import Idt
     from repro.hw.machine import Machine
@@ -33,7 +33,8 @@ class NativeVO(VirtualizationObject):
     mode_name = "native"
 
     def __init__(self, machine: "Machine",
-                 accountant: Optional["ActiveAccountant"] = None):
+                 accountant: Optional["ActiveAccountant"] = None,
+                 mmu_log: Optional["MmuAccounting"] = None):
         super().__init__()
         self.machine = machine
         self.data.kernel_segment_dpl = 0
@@ -41,6 +42,14 @@ class NativeVO(VirtualizationObject):
         #: pre-cached VMM's page type/count info up to date from native mode
         #: at a small per-operation cost (§5.1.2)
         self.accountant = accountant
+        if mmu_log is None:
+            from repro.core.accounting import MmuAccounting
+            mmu_log = MmuAccounting()  # standalone VO: marks go nowhere
+        #: dirty-root tracker for the incremental attach recompute; the
+        #: mark itself is a one-bit note folded into the PT write, so no
+        #: cycles are charged here
+        self.mmu_log = mmu_log
+        self._dirty_roots = mmu_log.dirty
 
     # -- sensitive CPU operations -------------------------------------------
 
@@ -75,12 +84,13 @@ class NativeVO(VirtualizationObject):
 
     @sensitive
     def kernel_entry(self, cpu) -> None:
-        cpu.charge(cpu.cost.cyc_kernel_entry)
+        # every syscall passes through here: direct clock add (constant cost)
+        cpu.clock.cycles += cpu.cost.cyc_kernel_entry
         cpu.set_privilege(PrivilegeLevel.PL0)
 
     @sensitive
     def kernel_exit(self, cpu) -> None:
-        cpu.charge(cpu.cost.cyc_kernel_exit)
+        cpu.clock.cycles += cpu.cost.cyc_kernel_exit
         cpu.set_privilege(PrivilegeLevel.PL3)
 
     @sensitive
@@ -95,6 +105,7 @@ class NativeVO(VirtualizationObject):
         cpu.charge(cpu.cost.cyc_pte_write)
         old = aspace.get_pte(vaddr) if self.accountant is not None else None
         aspace.set_pte(vaddr, pte)
+        self._dirty_roots.add(aspace.pgd.frame)
         if self.accountant is not None:
             self.accountant.on_set_pte(cpu, aspace, vaddr, pte, old)
 
@@ -103,6 +114,7 @@ class NativeVO(VirtualizationObject):
         cpu.charge(cpu.cost.cyc_pte_write)
         old = aspace.clear_pte(vaddr)
         cpu.tlb.invalidate(vaddr // PAGE_SIZE)
+        self._dirty_roots.add(aspace.pgd.frame)
         if self.accountant is not None and old is not None:
             self.accountant.on_clear_pte(cpu, aspace, vaddr, old)
 
@@ -120,32 +132,49 @@ class NativeVO(VirtualizationObject):
         if cow is not None:
             pte.cow = cow
         cpu.tlb.invalidate(vaddr // PAGE_SIZE)
+        self._dirty_roots.add(aspace.pgd.frame)
         if self.accountant is not None:
             self.accountant.on_update_pte(cpu, aspace, vaddr, pte)
 
     @sensitive
     def apply_pte_region(self, cpu, aspace: "AddressSpace", updates: list) -> None:
+        self._dirty_roots.add(aspace.pgd.frame)
+        cpu.charge(cpu.cost.cyc_pte_write * len(updates))
+        accountant = self.accountant
+        if accountant is None:
+            # hot path (fork child install, exec teardown, mmap populate):
+            # plain stores, one lump charge for the whole region
+            set_pte = aspace.set_pte
+            clear_pte = aspace.clear_pte
+            drop = cpu.tlb.drop
+            for vaddr, pte in updates:
+                if pte is None:
+                    clear_pte(vaddr)
+                    drop(vaddr // PAGE_SIZE, None)
+                else:
+                    set_pte(vaddr, pte)
+            return
         for vaddr, pte in updates:
-            cpu.charge(cpu.cost.cyc_pte_write)
-            old = aspace.get_pte(vaddr) if self.accountant is not None else None
+            old = aspace.get_pte(vaddr)
             if pte is None:
                 removed = aspace.clear_pte(vaddr)
                 cpu.tlb.invalidate(vaddr // PAGE_SIZE)
-                if self.accountant is not None and removed is not None:
-                    self.accountant.on_clear_pte(cpu, aspace, vaddr, removed)
+                if removed is not None:
+                    accountant.on_clear_pte(cpu, aspace, vaddr, removed)
             else:
                 aspace.set_pte(vaddr, pte)
-                if self.accountant is not None:
-                    self.accountant.on_set_pte(cpu, aspace, vaddr, pte, old)
+                accountant.on_set_pte(cpu, aspace, vaddr, pte, old)
 
     @sensitive
     def new_address_space(self, cpu, aspace: "AddressSpace") -> None:
         # Bare hardware needs nothing: the MMU will happily walk any frames.
+        self.mmu_log.on_new_root(aspace)
         if self.accountant is not None:
             self.accountant.on_new_address_space(cpu, aspace)
 
     @sensitive
     def destroy_address_space(self, cpu, aspace: "AddressSpace") -> None:
+        self.mmu_log.on_destroy_root(aspace)
         if self.accountant is not None:
             self.accountant.on_destroy_address_space(cpu, aspace)
         aspace.destroy()
@@ -175,6 +204,8 @@ class NativeVO(VirtualizationObject):
 
     @sensitive
     def net_transmit(self, cpu, pkt: "Packet") -> None:
-        cpu.charge(cpu.cost.cyc_net_per_packet)
-        cpu.charge(cpu.cost.cyc_net_copy_per_kb * max(1, pkt.size_bytes // 1024))
+        cost = cpu.cost
+        cpu.clock.cycles += (cost.cyc_net_per_packet
+                             + cost.cyc_net_copy_per_kb
+                             * max(1, pkt.size_bytes // 1024))
         self.machine.nic.transmit(pkt)

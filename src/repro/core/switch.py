@@ -384,7 +384,8 @@ class ModeSwitchEngine:
                             lambda c: mercury.pager.drop_all(c))
             else:
                 state["pt_pages"] = transfer.transfer_page_tables_to_virtual(
-                    cp, kernel, vmm, domain, mercury.strategy, txn=txn)
+                    cp, kernel, vmm, domain, mercury.strategy, txn=txn,
+                    tracker=mercury.mmu_log)
             transfer.transfer_segments(cp, kernel, new_dpl=1, txn=txn)
             transfer.transfer_irq_bindings_to_virtual(cp, kernel, vmm, domain,
                                                       txn=txn)
@@ -442,7 +443,8 @@ class ModeSwitchEngine:
                                             for a in kernel.aspaces)
             else:
                 state["pt_pages"] = transfer.transfer_page_tables_to_native(
-                    cp, kernel, vmm, domain, txn=txn)
+                    cp, kernel, vmm, domain, txn=txn,
+                    tracker=mercury.mmu_log)
             transfer.transfer_segments(cp, kernel, new_dpl=0, txn=txn)
             vmm.deactivate()
             trace.instant(cp.cpu_id, "vmm.deactivate")

@@ -31,6 +31,7 @@ from repro.errors import ConsistencyViolation, HypercallError, TransferAborted
 from repro.hw.cpu import PrivilegeLevel
 
 if TYPE_CHECKING:
+    from repro.core.accounting import MmuAccounting
     from repro.guestos.kernel import Kernel
     from repro.hw.cpu import Cpu
     from repro.vmm.domain import Domain
@@ -90,33 +91,60 @@ def _fire_transfer_faults(processed: int) -> None:
 def transfer_page_tables_to_virtual(cpu: "Cpu", kernel: "Kernel",
                                     vmm: "Hypervisor", domain: "Domain",
                                     strategy: AccountingStrategy,
-                                    txn: Optional[SwitchTransaction] = None
+                                    txn: Optional[SwitchTransaction] = None,
+                                    tracker: Optional["MmuAccounting"] = None
                                     ) -> int:
     """Hand the OS's page tables to the VMM: register every address space
     with the domain and make the page-info table correct.
 
+    Under RECOMPUTE the table is normally rebuilt from scratch — the
+    expensive, paper-default path.  When ``tracker`` still trusts the
+    contributions it captured at the last detach, only roots dirtied (or
+    created/destroyed) since then pay revalidation; the clean rest are
+    merely re-pinned.  First attach, a table reset, or a rolled-back switch
+    all force the full path.
+
     Returns the number of page-table pages processed (the dominant cost
     driver of the native→virtual switch, §7.4)."""
     processed = 0
+    page_info = vmm.page_info
     with trace.span(cpu.cpu_id, "transfer.page-tables",
                     strategy=strategy.value):
         if strategy is AccountingStrategy.RECOMPUTE:
-            # full re-validation: the expensive, paper-default path.  The
-            # wipe returns the table to native mode's "VMM lost track" rest
-            # state, which is also exactly the correct undo of a partial
-            # recompute.
             if txn is not None:
-                txn.did("pageinfo-recompute",
-                        lambda c: vmm.page_info.reset())
-            vmm.page_info.reset()
-            for aspace in kernel.aspaces:
-                _fire_transfer_faults(processed)
-                domain.register_aspace(aspace)
-                if txn is not None:
-                    txn.did(f"register-aspace-{aspace.pgd_frame}",
-                            lambda c, a=aspace: domain.unregister_aspace(a))
-                vmm.page_info.validate_pgd(cpu, aspace, domain.domain_id)
-                processed += aspace.num_pt_pages()
+                ck = tracker.checkpoint() if tracker is not None else None
+
+                def undo_recompute(c: "Cpu") -> None:
+                    # the wipe returns the table to native mode's "VMM lost
+                    # track" rest state, which undoes a partial recompute
+                    # and a partial incremental pass alike.  The tracker is
+                    # restored exactly (no phantom-clean roots) but
+                    # distrusted, so the retry takes the full path against
+                    # the now-wiped table.
+                    page_info.reset()
+                    if tracker is not None:
+                        tracker.restore(ck)
+                        tracker.distrust()
+
+                txn.did("pageinfo-recompute", undo_recompute)
+            if tracker is not None and tracker.can_trust(page_info):
+                processed = _revalidate_incremental(cpu, kernel, vmm, domain,
+                                                    txn, tracker)
+            else:
+                # full re-validation from scratch
+                page_info.reset()
+                if tracker is not None:
+                    tracker.full_recomputes += 1
+                for aspace in kernel.aspaces:
+                    _fire_transfer_faults(processed)
+                    domain.register_aspace(aspace)
+                    if txn is not None:
+                        txn.did(f"register-aspace-{aspace.pgd_frame}",
+                                lambda c, a=aspace: domain.unregister_aspace(a))
+                    page_info.validate_pgd(cpu, aspace, domain.domain_id)
+                    processed += aspace.num_pt_pages()
+                if tracker is not None:
+                    tracker.consume()
         else:
             # ACTIVE: counts were maintained from native mode; only the pin
             # markers and a light re-protection pass are needed
@@ -129,44 +157,120 @@ def transfer_page_tables_to_virtual(cpu: "Cpu", kernel: "Kernel",
                 added: list[int] = []
                 for pt in aspace.pt_pages():
                     cpu.charge(cpu.cost.cyc_transfer_per_pt_page)
-                    if pt.frame not in vmm.page_info.pinned:
-                        vmm.page_info.pinned.add(pt.frame)
+                    if page_info.pin_frame(pt.frame):
                         added.append(pt.frame)
                 if txn is not None and added:
                     txn.did(f"pin-aspace-{aspace.pgd_frame}",
                             lambda c, fr=tuple(added):
-                            vmm.page_info.pinned.difference_update(fr))
+                            page_info.unpin_frames(fr))
                 processed += aspace.num_pt_pages()
+    return processed
+
+
+def _revalidate_incremental(cpu: "Cpu", kernel: "Kernel", vmm: "Hypervisor",
+                            domain: "Domain", txn: Optional[SwitchTransaction],
+                            tracker: "MmuAccounting") -> int:
+    """The incremental attach recompute: subtract the captured contribution
+    of every root that died while native, revalidate dirty/new roots, and
+    re-pin the clean rest whose column state is still exact.
+
+    Per-page work is charged at the transfer re-protection rate
+    (``cyc_transfer_per_pt_page``) for trusted and subtracted roots — the
+    same light pass the detach direction pays — while only revalidated
+    roots pay the full-width ``validate_pgd`` scans."""
+    page_info = vmm.page_info
+    per_pt = cpu.cost.cyc_transfer_per_pt_page
+    processed = 0
+    n_dead = len(tracker.dead)
+    for contrib in tracker.dead.values():
+        cpu.charge(per_pt * contrib.num_pt_pages())
+        page_info.subtract_root(contrib)
+    dirty = tracker.dirty
+    contributions = tracker.contributions
+    trusted = revalidated = 0
+    for aspace in kernel.aspaces:
+        _fire_transfer_faults(processed)
+        domain.register_aspace(aspace)
+        if txn is not None:
+            txn.did(f"register-aspace-{aspace.pgd_frame}",
+                    lambda c, a=aspace: domain.unregister_aspace(a))
+        contrib = contributions.get(aspace.pgd.frame)
+        if contrib is not None and aspace.pgd.frame not in dirty:
+            # clean root: detach removed only the pin marks, so the columns
+            # already hold exactly what a full validation would rebuild
+            cpu.charge(per_pt * contrib.num_pt_pages())
+            page_info.repin_root(contrib)
+            trusted += 1
+        else:
+            if contrib is not None:
+                # dirtied since capture: drop the stale contribution first,
+                # then validate the current structure from scratch
+                cpu.charge(per_pt * contrib.num_pt_pages())
+                page_info.subtract_root(contrib)
+            page_info.validate_pgd(cpu, aspace, domain.domain_id)
+            revalidated += 1
+        processed += aspace.num_pt_pages()
+    tracker.roots_trusted += trusted
+    tracker.roots_revalidated += revalidated
+    tracker.consume()
+    trace.instant(cpu.cpu_id, "transfer.pt-incremental",
+                  trusted=trusted, revalidated=revalidated, dead=n_dead)
     return processed
 
 
 def transfer_page_tables_to_native(cpu: "Cpu", kernel: "Kernel",
                                    vmm: "Hypervisor", domain: "Domain",
-                                   txn: Optional[SwitchTransaction] = None
+                                   txn: Optional[SwitchTransaction] = None,
+                                   tracker: Optional["MmuAccounting"] = None
                                    ) -> int:
     """Give the page tables back to the OS: unpin (make writable again) and
     unregister.  The page-info table is left as-is; it is stale from this
-    moment (unless the ACTIVE accountant keeps it warm)."""
+    moment (unless the ACTIVE accountant keeps it warm).
+
+    When a ``tracker`` is present, the sweep also captures each pinned
+    root's exact column contribution so the *next* attach can trust
+    untouched roots (§5.1.2 made incremental).  The capture itself charges
+    nothing: in a real kernel the page-info table simply persists — walking
+    the structures here is a modeling artifact riding the per-page
+    re-protection charge this loop already pays."""
     processed = 0
+    page_info = vmm.page_info
+    ck = tracker.checkpoint() if tracker is not None else None
+
+    def _restore_tracker(c: "Cpu") -> None:
+        # folded into the existing per-aspace undo closures (rollback runs
+        # them newest-first, and restoring the same checkpoint twice is
+        # idempotent) so the undo-log step names — and with them the golden
+        # rollback traces — stay exactly as before
+        if tracker is not None:
+            tracker.restore(ck)
+
     with trace.span(cpu.cpu_id, "transfer.page-tables"):
+        pinned_roots = [a for a in kernel.aspaces
+                        if page_info.is_pinned(a.pgd.frame)]
         for aspace in list(kernel.aspaces):
             _fire_transfer_faults(processed)
             unpinned: list[int] = []
             for pt in aspace.pt_pages():
                 cpu.charge(cpu.cost.cyc_transfer_per_pt_page)
-                if pt.frame in vmm.page_info.pinned:
-                    vmm.page_info.pinned.discard(pt.frame)
+                if page_info.unpin_frame(pt.frame):
                     unpinned.append(pt.frame)
                 processed += 1
             if txn is not None and unpinned:
-                txn.did(f"unpin-aspace-{aspace.pgd_frame}",
-                        lambda c, fr=tuple(unpinned):
-                        vmm.page_info.pinned.update(fr))
+                def undo_unpin(c: "Cpu", fr=tuple(unpinned)) -> None:
+                    _restore_tracker(c)
+                    page_info.pin_frames(fr)
+                txn.did(f"unpin-aspace-{aspace.pgd_frame}", undo_unpin)
             if aspace in domain.aspaces:
                 domain.unregister_aspace(aspace)
                 if txn is not None:
+                    def undo_unregister(c: "Cpu", a=aspace) -> None:
+                        _restore_tracker(c)
+                        domain.register_aspace(a)
                     txn.did(f"unregister-aspace-{aspace.pgd_frame}",
-                            lambda c, a=aspace: domain.register_aspace(a))
+                            undo_unregister)
+        if tracker is not None:
+            tracker.capture_at_detach(pinned_roots, page_info)
     return processed
 
 

@@ -35,6 +35,7 @@ from repro.hw.cpu import PrivilegeLevel
 from repro.params import PAGE_SIZE
 
 if TYPE_CHECKING:
+    from repro.core.accounting import MmuAccounting
     from repro.hw.devices import BlockRequest, Packet
     from repro.hw.interrupts import Idt
     from repro.hw.machine import Machine
@@ -65,7 +66,8 @@ class VirtualVO(VirtualizationObject):
     mode_name = "virtual"
     is_virtual = True
 
-    def __init__(self, machine: "Machine", vmm: "Hypervisor", domain: "Domain"):
+    def __init__(self, machine: "Machine", vmm: "Hypervisor", domain: "Domain",
+                 mmu_log: Optional["MmuAccounting"] = None):
         super().__init__()
         self.machine = machine
         self.vmm = vmm
@@ -73,6 +75,15 @@ class VirtualVO(VirtualizationObject):
         self.data.kernel_segment_dpl = 1
         #: per-CPU lazy-MMU queues, keyed by cpu_id
         self._lazy: dict[int, _LazyMmuState] = {}
+        if mmu_log is None:
+            from repro.core.accounting import MmuAccounting
+            mmu_log = MmuAccounting()  # standalone VO: marks go nowhere
+        #: dirty-root tracker shared with the NativeVO.  Pinned tables are
+        #: maintained live by the VMM, but *unpinned* tables are plain
+        #: memory — direct writes mark their root so the invariant "every
+        #: structural PT write dirties its root" holds in both modes.
+        self.mmu_log = mmu_log
+        self._dirty_roots = mmu_log.dirty
 
     # -- helpers -----------------------------------------------------------
 
@@ -80,7 +91,7 @@ class VirtualVO(VirtualizationObject):
         return self.vmm.hypercall(cpu, self.domain, name, *args)
 
     def _pinned(self, aspace: "AddressSpace") -> bool:
-        return aspace.pgd.frame in self.vmm.page_info.pinned
+        return self.vmm.page_info.pinned_map[aspace.pgd.frame] != 0
 
     # -- lazy-MMU batching --------------------------------------------------
 
@@ -189,12 +200,14 @@ class VirtualVO(VirtualizationObject):
 
     @sensitive
     def kernel_entry(self, cpu) -> None:
-        cpu.charge(cpu.cost.cyc_kernel_entry + cpu.cost.cyc_syscall_virt_extra)
+        # every syscall passes through here: direct clock add (constant cost)
+        cpu.clock.cycles += (cpu.cost.cyc_kernel_entry
+                             + cpu.cost.cyc_syscall_virt_extra)
         cpu.set_privilege(PrivilegeLevel.PL1)
 
     @sensitive
     def kernel_exit(self, cpu) -> None:
-        cpu.charge(cpu.cost.cyc_kernel_exit + cpu.cost.cyc_iret_fixup)
+        cpu.clock.cycles += cpu.cost.cyc_kernel_exit + cpu.cost.cyc_iret_fixup
         cpu.set_privilege(PrivilegeLevel.PL3)
 
     @sensitive
@@ -221,6 +234,7 @@ class VirtualVO(VirtualizationObject):
             # unpinned tables are plain memory: direct write, validated later
             cpu.charge(cpu.cost.cyc_pte_write)
             aspace.set_pte(vaddr, pte)
+            self._dirty_roots.add(aspace.pgd.frame)
 
     @sensitive
     def clear_pte(self, cpu, aspace: "AddressSpace", vaddr: int) -> None:
@@ -233,6 +247,7 @@ class VirtualVO(VirtualizationObject):
         else:
             cpu.charge(cpu.cost.cyc_pte_write)
             aspace.clear_pte(vaddr)
+            self._dirty_roots.add(aspace.pgd.frame)
 
     @sensitive
     def update_pte_flags(self, cpu, aspace: "AddressSpace", vaddr: int, *,
@@ -261,17 +276,21 @@ class VirtualVO(VirtualizationObject):
         else:
             cpu.charge(cpu.cost.cyc_pte_write)
             aspace.set_pte(vaddr, new)
+            self._dirty_roots.add(aspace.pgd.frame)
         cpu.tlb.invalidate(vaddr // PAGE_SIZE)
 
     @sensitive
     def apply_pte_region(self, cpu, aspace: "AddressSpace", updates: list) -> None:
         if not self._pinned(aspace):
+            self._dirty_roots.add(aspace.pgd.frame)
+            cpu.charge(cpu.cost.cyc_pte_write * len(updates))
+            set_pte = aspace.set_pte
+            clear_pte = aspace.clear_pte
             for vaddr, pte in updates:
-                cpu.charge(cpu.cost.cyc_pte_write)
                 if pte is None:
-                    aspace.clear_pte(vaddr)
+                    clear_pte(vaddr)
                 else:
-                    aspace.set_pte(vaddr, pte)
+                    set_pte(vaddr, pte)
             return
         st = self._lazy_state(cpu)
         if st.depth > 0:
@@ -296,6 +315,7 @@ class VirtualVO(VirtualizationObject):
         # flush before unpin: queued clears applied after _unaccount_leaf
         # would double-count in the PageInfoTable
         self.lazy_mmu_flush(cpu)
+        self.mmu_log.on_destroy_root(aspace)
         if self._pinned(aspace):
             self._hcall(cpu, "mmuext_op", "unpin_table", aspace)
         self.domain.unregister_aspace(aspace)
@@ -337,11 +357,15 @@ class VirtualVO(VirtualizationObject):
         if not self.domain.is_driver_domain:
             raise HypercallError(
                 f"domain {self.domain.domain_id} has no direct NIC access")
-        cpu.charge(cpu.cost.cyc_net_per_packet)
-        cpu.charge(cpu.cost.cyc_net_copy_per_kb * max(1, pkt.size_bytes // 1024))
-        # the TX-completion interrupt comes back VMM-mediated: event channel
-        # plus hypervisor delivery latency, the dominant per-packet tax
-        cpu.charge(cpu.cost.cyc_event_channel + cpu.cost.cyc_vmm_irq_latency)
+        # per-packet cost plus the VMM-mediated TX-completion interrupt
+        # (event channel + hypervisor delivery latency), the dominant
+        # per-packet tax — one direct clock add on this hot path
+        cost = cpu.cost
+        cpu.clock.cycles += (cost.cyc_net_per_packet
+                             + cost.cyc_net_copy_per_kb
+                             * max(1, pkt.size_bytes // 1024)
+                             + cost.cyc_event_channel
+                             + cost.cyc_vmm_irq_latency)
         self.machine.nic.transmit(pkt)
 
     # ------------------------------------------------------------------

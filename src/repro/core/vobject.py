@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
 from repro.errors import ConsistencyViolation
-from repro.sim.scheduler import preempt_point
+from repro.sim import scheduler as _sim
 
 if TYPE_CHECKING:
     from repro.hw.cpu import Cpu
@@ -65,12 +65,26 @@ def sensitive(fn):
 
     @functools.wraps(fn)
     def wrapper(self: "VirtualizationObject", cpu: "Cpu", *args, **kwargs):
-        self.enter(cpu)
+        # enter()/exit() inlined: this wrapper runs on every sensitive op,
+        # so the two method dispatches are measurable across a workload.
+        # ``charges_indirect`` is the class knob the N-L baseline clears.
+        # The charge is a direct clock add — the cost is a constant, so
+        # Cpu.charge's negative guard is dead weight here.
+        if self.charges_indirect:
+            cpu.clock.cycles += cpu.cost.cyc_vo_indirect
+        self.refcount += 1
+        self.entries += 1
         try:
             return fn(self, cpu, *args, **kwargs)
         finally:
-            preempt_point(cpu)
-            self.exit(cpu)
+            # preempt_point inlined: the no-scheduler guard is one global
+            # load here instead of a call on every sensitive op
+            sched = _sim._ACTIVE
+            if sched is not None:
+                sched.pump(cpu)
+            if self.refcount <= 0:
+                raise ConsistencyViolation("VO refcount underflow")
+            self.refcount -= 1
 
     wrapper.__sensitive__ = True
     return wrapper
@@ -91,6 +105,10 @@ class VirtualizationObject:
     #: mode-dependent kernel paths (fault penalties, pin-on-restore) key
     #: off this rather than string-matching mode_name
     is_virtual = False
+    #: whether entering sensitive code charges the function-table
+    #: indirection cost — every Mercury VO does; the unmodified-kernel
+    #: baseline (``BareMetalVO``) clears it
+    charges_indirect = True
 
     def __init__(self):
         self.data = VoData()
@@ -101,7 +119,8 @@ class VirtualizationObject:
     # -- reference counting (§5.1.1) ---------------------------------------
 
     def enter(self, cpu: "Cpu") -> None:
-        cpu.charge(cpu.cost.cyc_vo_indirect)
+        if self.charges_indirect:
+            cpu.charge(cpu.cost.cyc_vo_indirect)
         self.refcount += 1
         self.entries += 1
 

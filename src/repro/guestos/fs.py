@@ -141,13 +141,15 @@ class FileSystem:
              nbytes: int) -> tuple[list[object], int]:
         """Read up to ``nbytes`` from ``offset``; returns (block datas,
         bytes advanced)."""
-        cpu.charge(cpu.cost.cyc_fs_op_fixed)
+        cost = cpu.cost
+        cpu.clock.cycles += cost.cyc_fs_op_fixed
         inode = self._inode(path)
         if offset >= inode.size:
             return [], 0
         nbytes = min(nbytes, inode.size - offset)
         first = offset // BLOCK_SIZE
         last = (offset + nbytes - 1) // BLOCK_SIZE
+        cyc_copy = cost.cyc_mem_touch_per_kb * (BLOCK_SIZE // 1024)
         out = []
         for idx in range(first, last + 1):
             block = inode.blocks[idx]
@@ -157,7 +159,7 @@ class FileSystem:
                 for evb, evd in self.cache.put(block, data, dirty=False):
                     self.kernel.block_write(cpu, evb, evd)
             # copying the block to the user buffer
-            cpu.charge(cpu.cost.cyc_mem_touch_per_kb * (BLOCK_SIZE // 1024))
+            cpu.clock.cycles += cyc_copy
             out.append(data)
         return out, nbytes
 

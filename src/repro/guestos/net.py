@@ -81,30 +81,34 @@ class NetworkStack:
         """Send ``nbytes`` as MSS-sized segments.  For TCP, waits for the
         window to reopen every TCP_WINDOW segments (ACK round trip)."""
         sock = self._sock(sock_id)
+        kernel = self.kernel
+        src = kernel.machine.nic.addr
+        proto = sock.proto
+        is_tcp = proto == "tcp"
+        net_transmit = kernel.net_transmit  # reads net_driver per call
         sent = 0
         in_window = 0
         seq = 0
         while sent < nbytes:
             seg = min(MSS, nbytes - sent)
-            pkt = Packet(src=self.kernel.machine.nic.addr, dst=dst,
-                         proto=sock.proto, size_bytes=seg, payload=payload,
-                         seq=seq)
+            pkt = Packet(src=src, dst=dst, proto=proto, size_bytes=seg,
+                         payload=payload, seq=seq)
             # xmit_more: another segment follows unless this one ends the
             # transfer or closes the TCP window — batching drivers coalesce
             # the burst behind one doorbell
             more = sent + seg < nbytes
-            if sock.proto == "tcp" and in_window + 1 >= TCP_WINDOW:
+            if is_tcp and in_window + 1 >= TCP_WINDOW:
                 more = False
-            self.kernel.net_transmit(cpu, pkt, more=more)
+            net_transmit(cpu, pkt, more=more)
             sent += seg
             seq += 1
             sock.tx_bytes += seg
             in_window += 1
-            if sock.proto == "tcp" and in_window >= TCP_WINDOW:
+            if is_tcp and in_window >= TCP_WINDOW:
                 # wait for the cumulative ACK before reopening the window
-                self.kernel.drain_events(cpu)
+                kernel.drain_events(cpu)
                 in_window = 0
-        self.kernel.net_tx_flush(cpu)
+        kernel.net_tx_flush(cpu)
         return sent
 
     def recvfrom(self, cpu: "Cpu", sock_id: int, block: bool = True) -> object:
@@ -136,7 +140,8 @@ class NetworkStack:
 
     def rx(self, cpu: "Cpu", pkt: Packet) -> None:
         """Protocol demultiplex for one received frame."""
-        cpu.charge(cpu.cost.cyc_net_per_packet)
+        cost = cpu.cost
+        cpu.clock.cycles += cost.cyc_net_per_packet  # constant: direct add
         self.rx_packets += 1
         if pkt.proto == "icmp":
             if pkt.payload == "echo":
@@ -152,8 +157,8 @@ class NetworkStack:
             return
         # tcp/udp: deliver to every socket of that protocol (the simulator
         # does not model ports; workloads use one socket per protocol)
-        cpu.charge(cpu.cost.cyc_net_copy_per_kb
-                   * max(1, pkt.size_bytes // 1024))
+        cpu.clock.cycles += (cost.cyc_net_copy_per_kb
+                             * max(1, pkt.size_bytes // 1024))
         for sock in self.sockets.values():
             if sock.proto == pkt.proto:
                 if isinstance(pkt.payload, tuple) and pkt.payload and \

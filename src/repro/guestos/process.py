@@ -16,7 +16,7 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.errors import NoSuchProcess, SyscallError
 from repro.hw.paging import AddressSpace, Pte
-from repro.params import PAGE_SIZE
+from repro.params import PAGE_SIZE, PT_SPAN
 
 if TYPE_CHECKING:
     from repro.guestos.kernel import Kernel
@@ -116,18 +116,31 @@ class ProcessTable:
         # the child's entries are collected and installed as one region
         # write (the child is unpinned, so these are plain stores).
         child_updates = []
+        add_update = child_updates.append
+        frame_refs = kernel.vmem._frame_refs
+        refs_get = frame_refs.get
+        smp = kernel.machine.config.num_cpus > 1
+        cyc_lock = cost.cyc_lock
+        parent_as = parent.aspace
         with kernel.lazy_mmu(cpu):
-            for vaddr, pte in list(parent.aspace.mapped_items()):
-                if not pte.present:
-                    continue
-                if pte.writable:
-                    kernel.vo.update_pte_flags(cpu, parent.aspace, vaddr,
-                                               writable=False, cow=True)
-                child_updates.append((vaddr, Pte(
-                    frame=pte.frame, present=True, writable=False,
-                    user=pte.user, cow=True)))
-                kernel.vmem.share_frame(pte.frame)
-                kernel.smp_lock(cpu)  # page_table_lock bounces per entry on SMP
+            # kernel.vo is re-read per entry: update_pte_flags pumps the
+            # sim scheduler, so the installed VO is not loop-invariant
+            for pgd_idx, leaf in list(parent_as.pgd.entries.items()):
+                vaddr_base = pgd_idx * PT_SPAN
+                for idx, pte in list(leaf.entries.items()):
+                    if not pte.present:
+                        continue
+                    vaddr = vaddr_base + idx * PAGE_SIZE
+                    if pte.writable:
+                        kernel.vo.update_pte_flags(cpu, parent_as, vaddr,
+                                                   writable=False, cow=True)
+                    add_update((vaddr, Pte(
+                        frame=pte.frame, present=True, writable=False,
+                        user=pte.user, cow=True)))
+                    frame = pte.frame
+                    frame_refs[frame] = refs_get(frame, 1) + 1
+                    if smp:  # page_table_lock bounces per entry on SMP
+                        cpu.charge(cyc_lock)
             kernel.vo.apply_pte_region(cpu, child_as, child_updates)
 
         kernel.vo.new_address_space(cpu, child_as)
@@ -191,13 +204,16 @@ class ProcessTable:
         kernel = self.kernel
         updates = []
         frames = []
-        for vaddr, pte in list(aspace.mapped_items()):
-            updates.append((vaddr, None))
-            if pte.present:
-                frames.append(pte.frame)
+        add_update = updates.append
+        add_frame = frames.append
+        for pgd_idx, leaf in aspace.pgd.entries.items():
+            vaddr = pgd_idx * PT_SPAN
+            for idx, pte in leaf.entries.items():
+                add_update((vaddr + idx * PAGE_SIZE, None))
+                if pte.present:
+                    add_frame(pte.frame)
         kernel.vo.apply_pte_region(cpu, aspace, updates)
-        for frame in frames:
-            kernel.vmem.release_frame(cpu, frame)
+        kernel.vmem.release_frames(cpu, frames)
         kernel.unregister_aspace(aspace)
         kernel.vo.destroy_address_space(cpu, aspace)
 

@@ -189,7 +189,8 @@ class NetFront:
         """Queue one packet.  ``more=True`` is the xmit_more hint from the
         stack: the caller promises another packet (or a flush) follows, so
         the doorbell is deferred and the whole burst shares one notify."""
-        cpu.charge(cpu.cost.cyc_net_copy_per_kb * max(1, pkt.size_bytes // 1024))
+        cpu.clock.cycles += (cpu.cost.cyc_net_copy_per_kb
+                             * max(1, pkt.size_bytes // 1024))
         self._txq.append(pkt)
         self.tx += 1
         if more and len(self._txq) < cpu.cost.io_tx_coalesce_max:
@@ -223,8 +224,8 @@ class NetFront:
                     raise NetworkError(
                         "netfront tx ring wedged: backend reaps nothing")
             pkt = self._txq.pop(0)
-            cpu.charge(cpu.cost.cyc_ring_hop if n == 0
-                       else cpu.cost.cyc_ring_entry_batched)
+            cpu.clock.cycles += (cpu.cost.cyc_ring_hop if n == 0
+                                 else cpu.cost.cyc_ring_entry_batched)
             self.tx_ring.push_request(NetRingEntry(pkt=pkt))
             n += 1
             flushed += 1

@@ -13,7 +13,7 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.errors import PageFault, SyscallError
 from repro.hw.paging import Pte
-from repro.params import PAGE_SIZE
+from repro.params import PAGE_SIZE, PT_ENTRIES
 
 if TYPE_CHECKING:
     from repro.guestos.kernel import Kernel
@@ -109,6 +109,22 @@ class VirtualMemory:
         else:
             self._frame_refs[frame] = refs
 
+    def release_frames(self, cpu: "Cpu", frames: list) -> None:
+        """Drop one reference on each of ``frames`` (teardown/munmap bulk
+        path — same semantics as :meth:`release_frame` per frame, without
+        a method dispatch per page)."""
+        frame_refs = self._frame_refs
+        get = frame_refs.get
+        pop = frame_refs.pop
+        free = self.kernel.machine.memory.free
+        for frame in frames:
+            refs = get(frame, 1) - 1
+            if refs <= 0:
+                pop(frame, None)
+                free(frame)
+            else:
+                frame_refs[frame] = refs
+
     def frame_refs(self, frame: int) -> int:
         return self._frame_refs.get(frame, 0)
 
@@ -123,14 +139,15 @@ class VirtualMemory:
         vma = Vma(IMAGE_BASE, IMAGE_BASE + pages * PAGE_SIZE, name="image")
         task.vmas.append(vma)
         mem = self.kernel.machine.memory
-        updates = []
-        for i in range(pages):
-            frame = mem.alloc(self.kernel.owner_id)
-            cpu.charge(cpu.cost.cyc_page_alloc)
-            # copying the image page from the (warm) page cache
-            cpu.charge(cpu.cost.cyc_mem_touch_per_kb * 4)
-            self.claim_frame(frame)
-            updates.append((vma.start + i * PAGE_SIZE, Pte(frame=frame)))
+        # per-page: one frame alloc plus copying the image page from the
+        # (warm) page cache; charged in one lump for the populated range
+        per_page = cpu.cost.cyc_page_alloc + cpu.cost.cyc_mem_touch_per_kb * 4
+        frames = mem.alloc_many(self.kernel.owner_id, pages)
+        cpu.charge(per_page * pages)
+        self._frame_refs.update(dict.fromkeys(frames, 1))
+        base = vma.start
+        updates = [(base + i * PAGE_SIZE, Pte(frame=frames[i]))
+                   for i in range(pages)]
         self.kernel.vo.apply_pte_region(cpu, task.aspace, updates)
 
     def mmap(self, cpu: "Cpu", task: "Task", length: int, *,
@@ -145,15 +162,16 @@ class VirtualMemory:
         task.vmas.append(vma)
         if populate:
             mem = self.kernel.machine.memory
-            updates = []
-            for i in range(pages):
-                frame = mem.alloc(self.kernel.owner_id)
-                cpu.charge(cpu.cost.cyc_page_alloc)
-                # MAP_POPULATE zeroes/copies the page in
-                cpu.charge(cpu.cost.cyc_mem_touch_per_kb * 4)
-                self.claim_frame(frame)
-                updates.append((base + i * PAGE_SIZE,
-                                Pte(frame=frame, writable=writable)))
+            # per-page: one frame alloc plus MAP_POPULATE zeroing/copying
+            # the page in; charged in one lump for the whole range
+            per_page = (cpu.cost.cyc_page_alloc
+                        + cpu.cost.cyc_mem_touch_per_kb * 4)
+            frames = mem.alloc_many(self.kernel.owner_id, pages)
+            cpu.charge(per_page * pages)
+            self._frame_refs.update(dict.fromkeys(frames, 1))
+            updates = [(base + i * PAGE_SIZE,
+                        Pte(frame=frames[i], writable=writable))
+                       for i in range(pages)]
             self.kernel.vo.apply_pte_region(cpu, task.aspace, updates)
         return base
 
@@ -166,15 +184,22 @@ class VirtualMemory:
         task.vmas.remove(vma)
         updates = []
         freed = []
+        # walk the range leaf-by-leaf instead of a full table walk per page
+        pgd_entries = task.aspace.pgd.entries
+        vpn = base // PAGE_SIZE
+        leaf = None
+        leaf_idx = -1
         for i in range(pages):
-            vaddr = base + i * PAGE_SIZE
-            pte = task.aspace.get_pte(vaddr)
+            pgd_idx, idx = divmod(vpn + i, PT_ENTRIES)
+            if pgd_idx != leaf_idx:
+                leaf = pgd_entries.get(pgd_idx)
+                leaf_idx = pgd_idx
+            pte = leaf.entries.get(idx) if leaf is not None else None
             if pte is not None and pte.present:
-                updates.append((vaddr, None))
+                updates.append((base + i * PAGE_SIZE, None))
                 freed.append(pte.frame)
         self.kernel.vo.apply_pte_region(cpu, task.aspace, updates)
-        for frame in freed:
-            self.release_frame(cpu, frame)
+        self.release_frames(cpu, freed)
 
     def brk(self, cpu: "Cpu", task: "Task", new_brk: int) -> int:
         """Grow (only) the heap; pages appear on demand."""

@@ -129,13 +129,21 @@ class Clock:
     def run_due(self) -> int:
         """Fire every event whose deadline has passed; return how many ran."""
         ran = 0
-        while True:
-            self._prune()
-            if not self._events or self._events[0][0] > self.cycles:
-                return ran
-            _, _, handle = heapq.heappop(self._events)
+        events = self._events
+        pop = heapq.heappop
+        # self.cycles is re-read per event: handlers charge cycles, which
+        # can bring further deadlines due within the same call
+        while events:
+            deadline, _, handle = events[0]
+            if not handle.pending:
+                pop(events)
+                continue
+            if deadline > self.cycles:
+                break
+            pop(events)
             if handle._fire():
                 ran += 1
+        return ran
 
     def peek(self) -> Optional[TimerHandle]:
         """The earliest still-pending event, or None (does not fire it)."""

@@ -80,8 +80,14 @@ class Cpu:
     # -- time / cost -------------------------------------------------------
 
     def charge(self, cycles: int) -> None:
-        """Account ``cycles`` of work on this CPU (advances global time)."""
-        self.clock.advance(cycles)
+        """Account ``cycles`` of work on this CPU (advances global time).
+
+        Semantically ``self.clock.advance(cycles)``, inlined: this is the
+        single hottest call in the simulator (every sensitive op, hypercall
+        and validation scan funnels through it)."""
+        if cycles < 0:
+            raise ValueError(f"cannot advance clock by {cycles} cycles")
+        self.clock.cycles += int(cycles)
 
     def rdtsc(self) -> int:
         """Read the time-stamp counter (non-privileged, like real RDTSC)."""

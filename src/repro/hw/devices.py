@@ -93,7 +93,7 @@ class BlockDevice:
         return self.blocks.get(block)
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One network frame."""
 

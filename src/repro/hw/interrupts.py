@@ -65,7 +65,7 @@ class Idt:
         return self.gates.get(vector)
 
 
-@dataclass
+@dataclass(slots=True)
 class _PendingVector:
     vector: int
     payload: object = None
@@ -123,25 +123,31 @@ class InterruptController:
         Returns the number delivered.  Respects the interrupt flag; raises
         if a vector arrives with no gate (a real machine would triple-fault
         — tests assert we never get here in correct operation)."""
-        if not cpu.interrupts_enabled:
-            return 0
         queue = self._pending[cpu.cpu_id]
+        if not queue or not cpu.interrupts_enabled:
+            return 0
         delivered = 0
+        popleft = queue.popleft
+        cyc_dispatch = cpu.cost.cyc_interrupt_dispatch
+        pl_type = type(cpu.pl)
+        clock = cpu.clock
         while queue and delivered < max_events:
-            pend = queue.popleft()
+            pend = popleft()
+            # idt_base is re-read per vector: a handler may install a new
+            # IDT (that is exactly what a mode switch does)
             idt = cpu.idt_base
-            if idt is None or idt.gate(pend.vector) is None:
+            entry = idt.gates.get(pend.vector) if idt is not None else None
+            if entry is None:
                 raise HardwareError(
                     f"cpu{cpu.cpu_id}: vector {pend.vector:#x} has no IDT gate"
                 )
-            entry = idt.gate(pend.vector)
-            cpu.charge(cpu.cost.cyc_interrupt_dispatch)
+            clock.cycles += cyc_dispatch
             # Hardware raises the privilege to the gate's level for the
             # handler, then the handler's IRET restores it.  We model the
             # round-trip explicitly so handlers (e.g. Mercury's switch
             # handler) can *edit* the level to return to (§5.1.3).
             saved_pl = cpu.pl
-            cpu.pl = type(cpu.pl)(entry.handler_pl)
+            cpu.pl = pl_type(entry.handler_pl)
             cpu._iret_pl = saved_pl  # handlers may overwrite this
             try:
                 if pend.payload is not None:

@@ -1,9 +1,11 @@
 """Physical memory: frame allocator, per-frame metadata, frame contents.
 
-Frame *metadata* (owner, generation/dirty counters) lives in numpy arrays so
-that whole-memory operations — most importantly the mode-switch recompute of
-the VMM's page type/count information (§5.1.2) and migration dirty-scans —
-can be expressed as vectorized passes over hundreds of thousands of frames.
+Frame *metadata* is columnar.  The owner column is an ``array('i')`` —
+alloc/free/validation touch it one frame at a time on hot guest paths, and
+a C-level scalar load is several times cheaper than boxing a numpy scalar —
+with a zero-copy numpy view kept alongside for the whole-memory passes
+(ownership scans for checkpoints and migration dirty-logging).  The
+generation column stays a numpy array: it is only read vectorized.
 
 Frame *contents* are stored sparsely: the simulator only materializes the
 content of frames someone actually writes (filesystem blocks, checkpoint
@@ -13,6 +15,7 @@ round-trip them through checkpoints and migrations.
 
 from __future__ import annotations
 
+from array import array
 from typing import Iterator, Optional
 
 import numpy as np
@@ -34,12 +37,21 @@ class PhysicalMemory:
             raise ValueError("num_frames must be positive")
         self.num_frames = num_frames
         #: which domain/owner id holds each frame (OWNER_FREE if none)
-        self.owner = np.full(num_frames, OWNER_FREE, dtype=np.int32)
+        self.owner = array("i", [OWNER_FREE]) * num_frames
+        #: zero-copy numpy view of :attr:`owner` for vectorized scans
+        self.owner_np = np.frombuffer(self.owner, dtype=np.int32)
         #: bumped on every content write; migration uses it for dirty logging
         self.generation = np.zeros(num_frames, dtype=np.int64)
-        # free list kept as a reversed stack so allocation is O(1) and
-        # deterministic (lowest frames first)
-        self._free = list(range(num_frames - 1, -1, -1))
+        # Free frames are represented implicitly: frames below the
+        # ``_next_fresh`` watermark are allocated unless they sit on the
+        # ``_recycled`` LIFO stack; frames at/above it are free unless in
+        # ``_fresh_skipped`` (claimed out of order by ``alloc_specific``).
+        # Allocation order — freed frames LIFO-first, then the lowest
+        # fresh frame — is deterministic and load-bearing: frame numbers
+        # feed page-info columns and golden traces.
+        self._recycled: list[int] = []
+        self._next_fresh = 0
+        self._fresh_skipped: set[int] = set()
         self._contents: dict[int, object] = {}
         #: arbitrary structured occupants (e.g. PageTablePage objects),
         #: indexed by frame — the simulator's stand-in for "what these bytes
@@ -50,36 +62,51 @@ class PhysicalMemory:
 
     def alloc(self, owner: int) -> int:
         """Allocate one frame to ``owner``; returns the frame number."""
-        if not self._free:
-            raise OutOfMemory("physical memory exhausted")
-        frame = self._free.pop()
+        recycled = self._recycled
+        if recycled:
+            frame = recycled.pop()
+        else:
+            frame = self._next_fresh
+            skipped = self._fresh_skipped
+            while skipped and frame in skipped:
+                skipped.discard(frame)
+                frame += 1
+            if frame >= self.num_frames:
+                self._next_fresh = frame
+                raise OutOfMemory("physical memory exhausted")
+            self._next_fresh = frame + 1
         self.owner[frame] = owner
         return frame
 
     def alloc_many(self, owner: int, n: int) -> list[int]:
-        if n > len(self._free):
-            raise OutOfMemory(f"requested {n} frames, {len(self._free)} free")
+        if n > self.free_frames:
+            raise OutOfMemory(f"requested {n} frames, {self.free_frames} free")
         return [self.alloc(owner) for _ in range(n)]
 
     def alloc_specific(self, frame: int, owner: int) -> int:
         """Allocate a *specific* frame (checkpoint-restore and migration
         rebuild page tables with their original frame numbers on a fresh
-        target).  O(n) on the free list; restore paths only."""
+        target).  O(n) on the recycled stack; restore paths only."""
         self._check(frame)
         if self.owner[frame] != OWNER_FREE:
             raise InvalidPhysicalAddress(f"frame {frame} is already allocated")
-        self._free.remove(frame)
+        if frame >= self._next_fresh:
+            self._fresh_skipped.add(frame)
+        else:
+            self._recycled.remove(frame)
         self.owner[frame] = owner
         return frame
 
     def free(self, frame: int) -> None:
-        self._check(frame)
+        # _check inlined: free runs per frame on every teardown path
+        if not 0 <= frame < self.num_frames:
+            raise InvalidPhysicalAddress(f"frame {frame} out of range")
         if self.owner[frame] == OWNER_FREE:
             raise InvalidPhysicalAddress(f"double free of frame {frame}")
         self.owner[frame] = OWNER_FREE
         self._contents.pop(frame, None)
         self.frame_objects.pop(frame, None)
-        self._free.append(frame)
+        self._recycled.append(frame)
 
     def reassign(self, frame: int, new_owner: int) -> None:
         """Transfer ownership of a frame (used when a VMM claims frames of a
@@ -91,11 +118,12 @@ class PhysicalMemory:
 
     @property
     def free_frames(self) -> int:
-        return len(self._free)
+        return (self.num_frames - self._next_fresh
+                - len(self._fresh_skipped) + len(self._recycled))
 
     def frames_owned_by(self, owner: int) -> np.ndarray:
         """All frame numbers currently owned by ``owner`` (vectorized)."""
-        return np.flatnonzero(self.owner == owner)
+        return np.flatnonzero(self.owner_np == owner)
 
     # -- contents ----------------------------------------------------------
 

@@ -22,7 +22,7 @@ from repro.hw.memory import PhysicalMemory
 from repro.params import PAGE_SIZE, PT_ENTRIES, PT_SPAN
 
 
-@dataclass
+@dataclass(slots=True)
 class Pte:
     """One leaf page-table entry."""
 
@@ -88,7 +88,7 @@ class AddressSpace:
         return self.pgd.frame
 
     def leaf_for(self, vaddr: int, create: bool = False) -> Optional[PageTablePage]:
-        pgd_idx, _ = vpn_split(vaddr)
+        pgd_idx = vaddr // PT_SPAN
         leaf = self.pgd.entries.get(pgd_idx)
         if leaf is None and create:
             frame = self.mem.alloc(self.owner)
@@ -107,25 +107,29 @@ class AddressSpace:
         return 1 + len(self.pgd.entries)
 
     # -- mapping (structural only; no cost accounting) ---------------------
+    # These run per-PTE on every bulk path (fork, exit, mmu_update), so the
+    # vpn arithmetic is computed once inline instead of through vpn_split.
 
     def set_pte(self, vaddr: int, pte: Pte) -> None:
-        leaf = self.leaf_for(vaddr, create=True)
-        _, idx = vpn_split(vaddr)
-        leaf.entries[idx] = pte
+        vpn = vaddr // PAGE_SIZE
+        leaf = self.pgd.entries.get(vpn // PT_ENTRIES)
+        if leaf is None:
+            leaf = self.leaf_for(vaddr, create=True)
+        leaf.entries[vpn % PT_ENTRIES] = pte
 
     def clear_pte(self, vaddr: int) -> Optional[Pte]:
-        leaf = self.leaf_for(vaddr)
+        vpn = vaddr // PAGE_SIZE
+        leaf = self.pgd.entries.get(vpn // PT_ENTRIES)
         if leaf is None:
             return None
-        _, idx = vpn_split(vaddr)
-        return leaf.entries.pop(idx, None)
+        return leaf.entries.pop(vpn % PT_ENTRIES, None)
 
     def get_pte(self, vaddr: int) -> Optional[Pte]:
-        leaf = self.leaf_for(vaddr)
+        vpn = vaddr // PAGE_SIZE
+        leaf = self.pgd.entries.get(vpn // PT_ENTRIES)
         if leaf is None:
             return None
-        _, idx = vpn_split(vaddr)
-        return leaf.entries.get(idx)
+        return leaf.entries.get(vpn % PT_ENTRIES)
 
     # -- hardware walk -------------------------------------------------------
 

@@ -21,6 +21,12 @@ class Tlb:
             raise ValueError("TLB capacity must be positive")
         self.capacity = capacity
         self._entries: OrderedDict[int, tuple[int, bool]] = OrderedDict()
+        #: bound ``pop`` of the entry dict — bulk paths (``mmu_update``'s
+        #: per-entry invlpg) call ``drop(vpn, None)`` to skip a method
+        #: dispatch per PTE; the dict object is never rebound (``flush``
+        #: clears it in place), so the binding stays valid for the CPU's
+        #: lifetime
+        self.drop = self._entries.pop
         self.hits = 0
         self.misses = 0
         self.flushes = 0

@@ -104,7 +104,7 @@ class EptTable:
     def build(self, cpu: "Cpu") -> int:
         """(Re)build the table from current frame ownership — a vectorized
         pass, unlike the software path's per-PTE validation walk."""
-        owned = self.mem.owner == self.domain_id
+        owned = self.mem.owner_np == self.domain_id
         self.present[:] = owned
         self.writable[:] = owned
         n = int(owned.sum())

@@ -18,8 +18,9 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, Optional
 
 from repro import faults
-from repro.errors import HypercallError
-from repro.params import PAGE_SIZE
+from repro.errors import HypercallError, PageValidationError
+from repro.params import PAGE_SIZE, PT_ENTRIES
+from repro.vmm.page_info import _L1, _L2, _NONE, _WRITABLE
 
 if TYPE_CHECKING:
     from repro.hw.cpu import Cpu
@@ -46,7 +47,14 @@ def mmu_update(vmm: "Hypervisor", cpu: "Cpu", domain: "Domain",
     installs/replaces a mapping, None clears one.  Every update is validated
     against the page-info table before being applied.  Charged at the
     *batched* per-PTE rate unless the caller overrides (the unbatched
-    ``update_va_mapping`` path costs more per entry)."""
+    ``update_va_mapping`` path costs more per entry).
+
+    This is the hottest VMM path (fork/exit/mmap all funnel through it), so
+    the loop resolves each entry's leaf once, inlines the page-info column
+    bookkeeping (:meth:`validate_pte_write`/:meth:`account_pte_clear`
+    semantics, verbatim), and caches per-address-space state across runs of
+    consecutive entries — registration and PGD pinned-ness cannot change
+    mid-batch, nothing here reenters the hypercall layer."""
     if faults.fire(faults.MMU_UPDATE_TRANSIENT, cpu_id=cpu.cpu_id):
         # rejected before any entry is applied: the batch is all-or-nothing
         # from the guest's point of view, so a transient refusal is safe to
@@ -54,27 +62,75 @@ def mmu_update(vmm: "Hypervisor", cpu: "Cpu", domain: "Domain",
         raise HypercallError("injected: transient mmu_update refusal")
     batched = per_pte_cycles is None
     rate = cpu.cost.cyc_mmu_update_batched if batched else per_pte_cycles
+    page_info = vmm.page_info
+    ptype, pcount, prefs = page_info.type, page_info.type_count, \
+        page_info.ref_count
+    pinned_map = page_info.pinned_map
+    owner = page_info.mem.owner
+    domain_id = domain.domain_id
+    clk = cpu.clock
+    drop = cpu.tlb.drop
+    cur_aspace = None
+    pgd_entries = None
+    pgd_pinned = False
     applied = 0
     for aspace, vaddr, pte in updates:
-        _require_registered(domain, aspace)
-        cpu.charge(rate)
-        old = aspace.get_pte(vaddr)
+        if aspace is not cur_aspace:
+            _require_registered(domain, aspace)
+            cur_aspace = aspace
+            pgd_entries = aspace.pgd.entries
+            pgd_pinned = pinned_map[aspace.pgd.frame] != 0
+        clk.cycles += rate
+        vpn = vaddr // PAGE_SIZE
+        leaf = pgd_entries.get(vpn // PT_ENTRIES)
+        idx = vpn % PT_ENTRIES
         if pte is None:
-            removed = aspace.clear_pte(vaddr)
-            vmm.page_info.account_pte_clear(cpu, removed)
-            cpu.tlb.invalidate(vaddr // PAGE_SIZE)
+            removed = leaf.entries.pop(idx, None) if leaf is not None else None
+            if removed is not None and removed.present:
+                frame = removed.frame
+                n = pcount[frame]
+                # n <= 0 means the entry's accounting was already dropped
+                # (unpin wipes the counts its entries contributed): nothing
+                # to unaccount, and decrementing would go negative
+                if n > 0:
+                    pcount[frame] = n - 1
+                    prefs[frame] -= 1
+                    if n == 1 and ptype[frame] == _WRITABLE:
+                        ptype[frame] = _NONE
+            drop(vpn, None)
         else:
-            vmm.page_info.validate_pte_write(cpu, pte, domain.domain_id)
-            if old is not None:
-                vmm.page_info.account_pte_clear(cpu, old)
-            aspace.set_pte(vaddr, pte)
+            old = leaf.entries.get(idx) if leaf is not None else None
+            if pte.present:
+                frame = pte.frame
+                if owner[frame] != domain_id:
+                    page_info._check_frame_for(frame, domain_id)
+                t = ptype[frame]
+                if pte.writable and (t == _L1 or t == _L2):
+                    raise PageValidationError(
+                        f"mmu_update installs writable mapping of PT frame "
+                        f"{frame}")
+                prefs[frame] += 1
+                if t == _NONE:
+                    ptype[frame] = _WRITABLE
+                pcount[frame] += 1
+            if old is not None and old.present:
+                frame = old.frame
+                n = pcount[frame]
+                if n > 0:
+                    pcount[frame] = n - 1
+                    prefs[frame] -= 1
+                    if n == 1 and ptype[frame] == _WRITABLE:
+                        ptype[frame] = _NONE
+            if leaf is None:
+                leaf = aspace.leaf_for(vaddr, create=True)
+            leaf.entries[idx] = pte
             # the write may have instantiated a new leaf PT page under a
             # pinned PGD (an L2-entry install): validate-and-adopt it
-            leaf = aspace.leaf_for(vaddr)
-            if aspace.pgd.frame in vmm.page_info.pinned and \
-                    not vmm.page_info.is_pt_frame(leaf.frame):
-                vmm.page_info.adopt_new_leaf(cpu, leaf)
-            cpu.tlb.invalidate(vaddr // PAGE_SIZE)
+            if pgd_pinned:
+                t = ptype[leaf.frame]
+                if t != _L1 and t != _L2:
+                    page_info.adopt_new_leaf(cpu, leaf)
+            drop(vpn, None)
         applied += 1
     if batched:
         vmm.mmu_batches += 1

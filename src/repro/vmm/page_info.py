@@ -17,17 +17,28 @@ of §5.1.2 are here:
   ``track_*`` methods from native mode on every PT operation, keeping the
   table warm at a 2–3% running cost.
 
-Metadata lives in numpy arrays so recompute can zero/aggregate vectorized;
-per-entry *validation* still walks real PTEs, because correctness (catching
-a PTE that points at a foreign frame) is part of what we reproduce.
+Storage is *columnar*: parallel ``bytearray``/``array('i')`` columns indexed
+by frame number, plus a pinned byte-map.  Scalar indexing into these columns
+is a plain C-level load/store, which matters because the validation and
+count bookkeeping below run per-PTE on the hottest guest paths
+(``mmu_update``), and because a reset is a single memset-style slice write.
+The pinned map is owned by this class: external code pins and unpins through
+:meth:`pin_frame`/:meth:`unpin_frame` (or the bulk variants) and reads
+through the set-like :attr:`pinned` view or the raw :attr:`pinned_map`.
+
+On top of the columns sit the *incremental attach* primitives: a
+:class:`RootContribution` records exactly what one page-table root adds to
+the columns, captured at detach time and subtracted (or merely re-pinned)
+at the next attach so only roots dirtied in native mode pay revalidation —
+see :class:`repro.core.accounting.MmuAccounting`.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import TYPE_CHECKING, Iterable
-
-import numpy as np
+from array import array
+from collections.abc import Set as AbstractSet
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro.errors import PageValidationError
 from repro.params import PT_ENTRIES
@@ -54,18 +65,126 @@ _L1 = int(PageType.L1_PAGETABLE)
 _L2 = int(PageType.L2_PAGETABLE)
 
 
+class PinnedView(AbstractSet):
+    """Set-like read view over the pinned byte-map.
+
+    Supports ``in``, iteration, ``len``, truthiness and ``==`` against real
+    sets (via :class:`collections.abc.Set`), so existing callers that treat
+    the pinned frames as a set keep working; mutation goes through the
+    table's explicit pin/unpin API."""
+
+    __slots__ = ("_map", "_table")
+
+    def __init__(self, table: "PageInfoTable"):
+        self._table = table
+        self._map = table.pinned_map
+
+    def __contains__(self, frame: object) -> bool:
+        try:
+            return frame >= 0 and self._map[frame] != 0
+        except (IndexError, TypeError):
+            return False
+
+    def __iter__(self) -> Iterator[int]:
+        m = self._map
+        return (f for f in range(len(m)) if m[f])
+
+    def __len__(self) -> int:
+        return self._table.pinned_count
+
+
+class RootContribution:
+    """Exactly what one validated page-table root contributes to the
+    columns: the PGD (typed L2, one type ref), each leaf (typed L1, one type
+    ref, one general ref held by the PGD) and, per present PTE, one type
+    count and one general ref on the mapped frame.
+
+    Captured from the root's *structure* at detach time — legitimate while
+    the root is pinned, because from pin to unpin every structural change
+    flows through ``mmu_update``/``adopt_new_leaf``, which maintain the
+    table in exactly this canonical shape."""
+
+    __slots__ = ("pgd_frame", "leaf_frames", "mapped")
+
+    def __init__(self, pgd_frame: int, leaf_frames: tuple,
+                 mapped: dict):
+        self.pgd_frame = pgd_frame
+        self.leaf_frames = leaf_frames
+        #: frame -> number of present PTEs of this root mapping it (each
+        #: contributes +1 type count and +1 ref count)
+        self.mapped = mapped
+
+    @classmethod
+    def capture(cls, aspace: "AddressSpace") -> "RootContribution":
+        mapped: dict[int, int] = {}
+        get = mapped.get
+        for leaf in aspace.pgd.entries.values():
+            for pte in leaf.entries.values():
+                if pte.present:
+                    f = pte.frame
+                    mapped[f] = get(f, 0) + 1
+        return cls(aspace.pgd.frame,
+                   tuple(l.frame for l in aspace.pgd.entries.values()),
+                   mapped)
+
+    def num_pt_pages(self) -> int:
+        return 1 + len(self.leaf_frames)
+
+
 class PageInfoTable:
-    """The VMM's view of every physical frame."""
+    """The VMM's view of every physical frame (columnar)."""
 
     def __init__(self, mem: "PhysicalMemory"):
         self.mem = mem
         n = mem.num_frames
-        self.type = np.zeros(n, dtype=np.int8)
-        self.type_count = np.zeros(n, dtype=np.int32)
-        self.ref_count = np.zeros(n, dtype=np.int32)
-        #: pinned page-table frames (explicitly validated via mmuext pin)
-        self.pinned: set[int] = set()
+        #: validated type per frame (PageType values), one byte each
+        self.type = bytearray(n)
+        self.type_count = array("i", bytes(4 * n))
+        self.ref_count = array("i", bytes(4 * n))
+        #: pinned page-table frames as a byte-map (1 = pinned); mutate only
+        #: through pin_frame/unpin_frame so the count stays coherent
+        self.pinned_map = bytearray(n)
+        self.pinned_count = 0
+        #: set-like view over :attr:`pinned_map` for membership/iteration
+        self.pinned = PinnedView(self)
         self.validations = 0
+        #: bumped by :meth:`reset` — anyone holding captured per-root
+        #: contributions (the incremental-attach tracker) must consider
+        #: them void when the epoch moved under them
+        self.epoch = 0
+
+    # ------------------------------------------------------------------
+    # pinning — the byte-map has one owner: this API
+    # ------------------------------------------------------------------
+
+    def is_pinned(self, frame: int) -> bool:
+        return self.pinned_map[frame] != 0
+
+    def pin_frame(self, frame: int) -> bool:
+        """Mark ``frame`` pinned; returns True if it was not already."""
+        m = self.pinned_map
+        if m[frame]:
+            return False
+        m[frame] = 1
+        self.pinned_count += 1
+        return True
+
+    def unpin_frame(self, frame: int) -> bool:
+        """Clear ``frame``'s pin mark; returns True if it was pinned."""
+        m = self.pinned_map
+        if not m[frame]:
+            return False
+        m[frame] = 0
+        self.pinned_count -= 1
+        return True
+
+    def pin_frames(self, frames: Iterable[int]) -> None:
+        for f in frames:
+            self.pin_frame(f)
+
+    def unpin_frames(self, frames: Iterable[int]) -> None:
+        for f in frames:
+            self.unpin_frame(f)
 
     # ------------------------------------------------------------------
     # validation / pinning (used when the VMM is ACTIVE, and during the
@@ -75,7 +194,8 @@ class PageInfoTable:
     def validate_leaf(self, cpu: "Cpu", leaf: "PageTablePage", domain_id: int) -> None:
         """Validate one leaf PT page for ``domain_id`` and account its
         references.  Charges a full-width entry scan (hardware must look at
-        every slot, present or not)."""
+        every slot, present or not); the scan itself is one pass over the
+        frame columns."""
         cpu.charge(cpu.cost.cyc_pte_validate * PT_ENTRIES)
         self.validations += 1
         ptype, pcount, prefs = self.type, self.type_count, self.ref_count
@@ -99,13 +219,13 @@ class PageInfoTable:
     def validate_pgd(self, cpu: "Cpu", aspace: "AddressSpace", domain_id: int) -> None:
         """Validate a whole address space top-down (pin operation)."""
         for leaf in aspace.pgd.entries.values():
-            if leaf.frame not in self.pinned:
+            if not self.pinned_map[leaf.frame]:
                 self.validate_leaf(cpu, leaf, domain_id)
-                self.pinned.add(leaf.frame)
+                self.pin_frame(leaf.frame)
             self._get_ref(leaf.frame)
         cpu.charge(cpu.cost.cyc_pte_validate * PT_ENTRIES)
         self._set_type(aspace.pgd.frame, PageType.L2_PAGETABLE)
-        self.pinned.add(aspace.pgd.frame)
+        self.pin_frame(aspace.pgd.frame)
 
     def adopt_new_leaf(self, cpu: "Cpu", leaf: "PageTablePage") -> None:
         """A validated mmu_update just instantiated a fresh leaf under a
@@ -115,7 +235,7 @@ class PageInfoTable:
         cpu.charge(cpu.cost.cyc_pte_validate * PT_ENTRIES)
         self._set_type(leaf.frame, PageType.L1_PAGETABLE)
         self._get_ref(leaf.frame)   # the PGD's reference on its leaf
-        self.pinned.add(leaf.frame)
+        self.pin_frame(leaf.frame)
 
     def unpin_aspace(self, cpu: "Cpu", aspace: "AddressSpace") -> None:
         """Drop validation of an address space being torn down.
@@ -123,7 +243,7 @@ class PageInfoTable:
         Unpinning a table that was never pinned is a guest error (Xen
         returns -EINVAL); accepting it would drive reference counts
         negative."""
-        if aspace.pgd.frame not in self.pinned:
+        if not self.pinned_map[aspace.pgd.frame]:
             raise PageValidationError(
                 f"unpin of unpinned PGD frame {aspace.pgd.frame}")
         for leaf in aspace.pgd.entries.values():
@@ -131,10 +251,9 @@ class PageInfoTable:
             # counters are wiped (the mirror image of validate_pgd's
             # validate-then-get_ref order)
             self._put_ref(leaf.frame)
-            if leaf.frame in self.pinned:
-                self.pinned.discard(leaf.frame)
+            if self.unpin_frame(leaf.frame):
                 self._unaccount_leaf(cpu, leaf)
-        self.pinned.discard(aspace.pgd.frame)
+        self.unpin_frame(aspace.pgd.frame)
         self._clear_type(aspace.pgd.frame)
 
     def validate_pte_write(self, cpu: "Cpu", pte, domain_id: int) -> None:
@@ -161,16 +280,17 @@ class PageInfoTable:
         if old_pte is None or not old_pte.present:
             return
         frame = old_pte.frame
-        if self.type_count[frame] <= 0:
+        pcount = self.type_count
+        if pcount[frame] <= 0:
             # the entry's accounting was already dropped (unpin turns a
             # table back into plain memory with its mappings intact, wiping
             # the counts its entries contributed) — there is nothing left
             # to unaccount, and decrementing anyway would let a hostile
             # pin/map/unpin/clear sequence drive the counts negative
             return
-        self.type_count[frame] -= 1
+        pcount[frame] -= 1
         self.ref_count[frame] -= 1
-        if self.type_count[frame] == 0 and self.type[frame] == _WRITABLE:
+        if pcount[frame] == 0 and self.type[frame] == _WRITABLE:
             self.type[frame] = _NONE
 
     # ------------------------------------------------------------------
@@ -182,27 +302,27 @@ class PageInfoTable:
         native and trusted; we only keep counters warm)."""
         if pte is None or not pte.present:
             return
-        self.ref_count[pte.frame] += 1
-        if self.type[pte.frame] == PageType.NONE:
-            self.type[pte.frame] = PageType.WRITABLE
-        self.type_count[pte.frame] += 1
+        frame = pte.frame
+        self.ref_count[frame] += 1
+        if self.type[frame] == _NONE:
+            self.type[frame] = _WRITABLE
+        self.type_count[frame] += 1
 
     def track_clear_pte(self, old_pte) -> None:
         if old_pte is None or not old_pte.present:
             return
-        self.type_count[old_pte.frame] -= 1
-        self.ref_count[old_pte.frame] -= 1
-        if self.type_count[old_pte.frame] == 0 and \
-                self.type[old_pte.frame] == PageType.WRITABLE:
-            self.type[old_pte.frame] = PageType.NONE
+        frame = old_pte.frame
+        self.type_count[frame] -= 1
+        self.ref_count[frame] -= 1
+        if self.type_count[frame] == 0 and self.type[frame] == _WRITABLE:
+            self.type[frame] = _NONE
 
     def track_new_pt_page(self, pt_frame: int, level: int) -> None:
-        self.type[pt_frame] = (PageType.L2_PAGETABLE if level == 2
-                               else PageType.L1_PAGETABLE)
+        self.type[pt_frame] = _L2 if level == 2 else _L1
         self.type_count[pt_frame] = 1  # one use as a page table
 
     def track_drop_pt_page(self, pt_frame: int) -> None:
-        self.type[pt_frame] = PageType.NONE
+        self.type[pt_frame] = _NONE
         self.type_count[pt_frame] = 0
         self.ref_count[pt_frame] = 0
 
@@ -223,22 +343,66 @@ class PageInfoTable:
         return scanned
 
     def reset(self) -> None:
-        """Vectorized wipe (the 'VMM lost track' state of native mode)."""
-        self.type[:] = PageType.NONE
-        self.type_count[:] = 0
-        self.ref_count[:] = 0
-        self.pinned.clear()
+        """Columnar wipe (the 'VMM lost track' state of native mode)."""
+        n = len(self.type)
+        self.type[:] = bytes(n)
+        self.type_count[:] = array("i", bytes(4 * n))
+        self.ref_count[:] = array("i", bytes(4 * n))
+        self.pinned_map[:] = bytes(n)
+        self.pinned_count = 0
+        self.epoch += 1
 
     # ------------------------------------------------------------------
-    # consistency checking (property tests compare ACTIVE vs RECOMPUTE)
+    # incremental attach (per-root trust) — see MmuAccounting
+    # ------------------------------------------------------------------
+
+    def repin_root(self, contrib: RootContribution) -> int:
+        """Re-pin a root whose column contributions survived the detach
+        untouched: the type/count columns already hold exactly what a full
+        validation would rebuild (detach removes only the pin marks), so
+        trusting the root costs a pin-mark write per PT page instead of a
+        full-width entry scan.  Returns the number of PT pages re-pinned."""
+        self.pin_frame(contrib.pgd_frame)
+        for lf in contrib.leaf_frames:
+            self.pin_frame(lf)
+        return contrib.num_pt_pages()
+
+    def subtract_root(self, contrib: RootContribution) -> None:
+        """Remove a captured root contribution from the columns — the exact
+        inverse of what validating that root added.  Used for roots that
+        died or were dirtied in native mode, before their current structure
+        (if any) is revalidated from scratch."""
+        ptype, pcount, prefs = self.type, self.type_count, self.ref_count
+        # data references first, while the PT frames still carry their
+        # PT types (a mapping of a PT frame must not demote it)
+        for frame, n in contrib.mapped.items():
+            pcount[frame] -= n
+            prefs[frame] -= n
+            if pcount[frame] <= 0 and ptype[frame] == _WRITABLE:
+                ptype[frame] = _NONE
+        # then the PT-ness of the leaves and the PGD; residual counts mean
+        # other roots map the frame as plain data, so it demotes to
+        # WRITABLE rather than NONE — exactly what a full recompute without
+        # this root would conclude
+        for lf in contrib.leaf_frames:
+            pcount[lf] -= 1
+            prefs[lf] -= 1
+            ptype[lf] = _WRITABLE if pcount[lf] > 0 else _NONE
+        pgd = contrib.pgd_frame
+        pcount[pgd] -= 1
+        ptype[pgd] = _WRITABLE if pcount[pgd] > 0 else _NONE
+
+    # ------------------------------------------------------------------
+    # consistency checking (property tests compare ACTIVE vs RECOMPUTE and
+    # incremental vs full)
     # ------------------------------------------------------------------
 
     def semantically_equal(self, other: "PageInfoTable") -> bool:
         """Compare the *guest-visible* semantics: same frame types and same
         type counts.  (Internal ref counts may differ between strategies —
         pinning takes extra references the cheap tracker does not.)"""
-        return (np.array_equal(self.type, other.type)
-                and np.array_equal(self.type_count, other.type_count))
+        return (self.type == other.type
+                and self.type_count == other.type_count)
 
     def is_pt_frame(self, frame: int) -> bool:
         t = self.type[frame]
@@ -264,7 +428,7 @@ class PageInfoTable:
                 f"frame {frame} owned by {owner}, not domain {domain_id}")
 
     def _set_type(self, frame: int, ptype: PageType) -> None:
-        cur = PageType(int(self.type[frame]))
+        cur = PageType(self.type[frame])
         if cur not in (PageType.NONE, ptype):
             raise PageValidationError(
                 f"frame {frame} re-typed {cur.name} -> {ptype.name} while in use")
@@ -274,7 +438,7 @@ class PageInfoTable:
     def _clear_type(self, frame: int) -> None:
         self.type_count[frame] = 0
         self.ref_count[frame] = 0
-        self.type[frame] = PageType.NONE
+        self.type[frame] = _NONE
 
     def _get_ref(self, frame: int) -> None:
         self.ref_count[frame] += 1

@@ -1,0 +1,128 @@
+"""Property: the incremental attach recompute is *exact*.
+
+The dirty-root tracker (:class:`repro.core.accounting.MmuAccounting`) lets
+an attach re-pin clean roots instead of revalidating them.  That is only
+sound if, for every reachable interleaving of process lifecycle, mapping
+activity and mode switches, the page-info table the incremental path
+produces is indistinguishable from the paper's full recompute — same types,
+same type counts, same reference counts, same pinned set.
+
+hypothesis drives the interleavings; the reference is a fresh
+:class:`~repro.vmm.page_info.PageInfoTable` rebuilt from scratch over the
+kernel's current address spaces, exactly what ``incremental_attach=False``
+would compute.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import Machine, Mercury, small_config
+from repro.core.mercury import Mode
+from repro.params import PAGE_SIZE
+from repro.vmm.page_info import PageInfoTable
+
+OPS = st.sampled_from([
+    "fork", "reap", "exec", "mmap", "munmap", "touch",
+    "attach", "detach", "roundtrip",
+])
+
+
+def _fresh() -> Mercury:
+    machine = Machine(small_config(mem_kb=32768))
+    mercury = Mercury(machine, incremental_attach=True)
+    mercury.create_kernel(image_pages=8)
+    return mercury
+
+
+def _apply(mercury: Mercury, op: str, state: dict) -> None:
+    k = mercury.kernel
+    cpu = mercury.machine.boot_cpu
+    if op == "fork" and len(state["children"]) < 5:
+        pid = k.syscall(cpu, "fork")
+        state["children"].append(k.procs.get(pid))
+    elif op == "reap" and state["children"]:
+        k.run_and_reap(cpu, state["children"].pop())
+    elif op == "exec" and state["children"]:
+        # teardown + rebuild of a root: exercises the dead-root path (the
+        # new PGD may even reuse the dead root's frame)
+        child = state["children"][-1]
+        k.switch_to(cpu, child)
+        k.syscall(cpu, "exec", "x", 6, task=child)
+        k.switch_to(cpu, k.procs.get(1))
+    elif op == "mmap":
+        base = k.syscall(cpu, "mmap", 2 * PAGE_SIZE, True)
+        state["regions"].append((base, 2 * PAGE_SIZE))
+    elif op == "munmap" and state["regions"]:
+        base, length = state["regions"].pop()
+        k.syscall(cpu, "munmap", base, length)
+    elif op == "touch":
+        task = k.scheduler.current
+        base = k.syscall(cpu, "mmap", PAGE_SIZE)
+        k.vmem.access(cpu, task, base, write=True)
+        state["regions"].append((base, PAGE_SIZE))
+    elif op == "attach" and mercury.mode is Mode.NATIVE:
+        mercury.attach()
+    elif op == "detach" and mercury.mode is not Mode.NATIVE:
+        mercury.detach()
+    elif op == "roundtrip":
+        # an idle detach->attach round trip: the steady state where every
+        # root is clean and the incremental path does the least work
+        if mercury.mode is not Mode.NATIVE:
+            mercury.detach()
+        mercury.attach()
+
+
+def _full_reference(mercury: Mercury) -> PageInfoTable:
+    """What ``incremental_attach=False`` would build for the current
+    kernel state: a from-scratch validation of every address space."""
+    ref = PageInfoTable(mercury.machine.memory)
+    ref.recompute(mercury.machine.boot_cpu, mercury.kernel.aspaces,
+                  mercury.domain.domain_id)
+    return ref
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(OPS, max_size=25))
+def test_incremental_attach_matches_full_recompute(ops):
+    mercury = _fresh()
+    state = {"children": [], "regions": []}
+    for op in ops:
+        _apply(mercury, op, state)
+    if mercury.mode is Mode.NATIVE:
+        mercury.attach()
+
+    live = mercury.vmm.page_info
+    ref = _full_reference(mercury)
+    assert ref.semantically_equal(live), \
+        "incremental attach left different types/type-counts than a full recompute"
+    assert live.ref_count == ref.ref_count, \
+        "incremental attach left different reference counts than a full recompute"
+    assert set(live.pinned) == set(ref.pinned), \
+        "incremental attach pinned a different frame set than a full recompute"
+    # only the very first attach may take the full path; no committed
+    # sequence of ops may silently degrade the steady state
+    assert mercury.mmu_log.full_recomputes <= 1
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(st.sampled_from(["fork", "reap", "exec", "mmap", "munmap",
+                                 "touch"]), max_size=15))
+def test_native_activity_then_attach_is_exact(ops):
+    """The adversarial shape for the tracker: a committed round trip, then
+    arbitrary native-mode churn (which only *marks* roots, maintaining no
+    counts), then the attach that must reconcile it all."""
+    mercury = _fresh()
+    mercury.attach()
+    mercury.detach()
+    state = {"children": [], "regions": []}
+    for op in ops:
+        _apply(mercury, op, state)
+    mercury.attach()
+
+    live = mercury.vmm.page_info
+    ref = _full_reference(mercury)
+    assert ref.semantically_equal(live)
+    assert live.ref_count == ref.ref_count
+    assert set(live.pinned) == set(ref.pinned)
+    assert mercury.mmu_log.full_recomputes <= 1

@@ -42,7 +42,17 @@ def _fingerprint(mercury: Mercury) -> dict:
     """Everything a half-committed switch could corrupt."""
     kernel = mercury.kernel
     domain = mercury.domain
+    tracker = mercury.mmu_log
     return {
+        # the incremental-attach tracker is transactional state too: a
+        # rollback that lost a dirty mark would leave a phantom-clean root
+        # dodging revalidation on the retry.  (``trusted`` is deliberately
+        # NOT part of the fingerprint — an attach rollback distrusts the
+        # tracker by design, forcing the retry onto the full path.)
+        "mmu_dirty": set(tracker.dirty) if tracker is not None else None,
+        "mmu_snapshot_roots": ((sorted(tracker.contributions),
+                                sorted(tracker.dead))
+                               if tracker is not None else None),
         "mode": mercury.mode,
         "vo": id(kernel.vo),
         "vo_refcount": kernel.vo.refcount,
@@ -158,6 +168,58 @@ def test_single_transient_fault_recovers_unattended(site_name, direction,
         assert snap.switch_rollbacks >= 1
     assert snap.switch_aborts == 0
     assert check_all(mercury) == []
+    _smoke(mercury)
+
+
+@pytest.mark.parametrize("ncpus", TOPOLOGIES, ids=["up", "smp"])
+def test_attach_rollback_restores_dirty_roots_exactly(ncpus):
+    """The tracker-specific half of the rollback story: after a persistent
+    mid-attach abort, the dirty/contribution/dead sets are bit-for-bit what
+    native mode left (no phantom-clean roots), the tracker is distrusted,
+    and the un-faulted retry rebuilds a table identical to a from-scratch
+    recompute."""
+    from repro.vmm.page_info import PageInfoTable
+
+    mercury = _stack(ncpus)
+    mercury.attach()
+    mercury.detach()   # captures per-root contributions, trusts the tracker
+    kernel = mercury.kernel
+    cpu = mercury.machine.boot_cpu
+    tracker = mercury.mmu_log
+
+    # native-mode churn: dirty the parent root, create a new one
+    pid = kernel.syscall(cpu, "fork")
+    assert tracker.trusted
+    dirty_before = set(tracker.dirty)
+    contribs_before = sorted(tracker.contributions)
+    dead_before = sorted(tracker.dead)
+    assert dirty_before, "native-mode PT writes must mark their roots dirty"
+
+    plan = faults.FaultPlan()
+    plan.arm(faults.PT_TRANSFER_ABORT, times=None)
+    with faults.injected(plan):
+        with pytest.raises(SwitchAborted):
+            mercury.attach()
+
+    # restored exactly, but distrusted: the retry must take the full path
+    assert set(tracker.dirty) == dirty_before
+    assert sorted(tracker.contributions) == contribs_before
+    assert sorted(tracker.dead) == dead_before
+    assert not tracker.trusted
+    assert check_all(mercury) == []
+
+    full_before = tracker.full_recomputes
+    rec = mercury.attach()
+    assert rec is not None
+    assert tracker.full_recomputes > full_before
+
+    ref = PageInfoTable(mercury.machine.memory)
+    ref.recompute(cpu, kernel.aspaces, mercury.domain.domain_id)
+    live = mercury.vmm.page_info
+    assert ref.semantically_equal(live)
+    assert live.ref_count == ref.ref_count
+    assert set(live.pinned) == set(ref.pinned)
+    kernel.run_and_reap(cpu, kernel.procs.get(pid))
     _smoke(mercury)
 
 
