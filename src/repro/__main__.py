@@ -10,11 +10,14 @@ Targets:
 - ``simload``             — the §5.1.1 switch-under-load scenario under the
   deterministic simulation scheduler; emits canonical output suitable for
   byte-for-byte diffing (the CI ``sched-determinism`` job runs it twice)
+- ``chaos``               — the VMM-fault chaos campaign: seeded fault
+  episodes with VMI-watchdog detection and microreboot recovery; emits
+  canonical output (the CI ``chaos-recovery`` job runs it twice)
 - ``all``                 — everything, in paper order
 
 Options: ``--quick`` (N-L and X-0 columns only), ``--mem-kb N``,
 ``--cpus N`` (trace target), ``--trace-json FILE``, ``--rounds N``
-(simload storm rounds).
+(simload storm rounds), ``--episodes N`` / ``--seed N`` (chaos campaign).
 """
 
 from __future__ import annotations
@@ -32,7 +35,7 @@ from repro.bench.runner import (relative_to_native, run_app_suite,
 from repro.core.switch import Direction
 
 TARGETS = ("table1", "table2", "fig3", "fig4", "switch", "trace",
-           "simload", "all")
+           "simload", "chaos", "all")
 
 
 def _measure_switch(config) -> tuple[float, float]:
@@ -93,6 +96,15 @@ def _simload(rounds: int) -> None:
     sys.stdout.write(result.canonical_output())
 
 
+def _chaos(episodes: int, seed: int) -> None:
+    """Run the chaos campaign and print its canonical output (byte-exact
+    for a given seed/episode count — the chaos-recovery CI contract)."""
+    from repro.bench.chaoscampaign import run_chaos_campaign
+
+    result = run_chaos_campaign(episodes=episodes, seed=seed)
+    sys.stdout.write(result.canonical_output())
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -110,6 +122,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--rounds", type=int, default=5,
                         help="attach/detach rounds for the simload target "
                              "(default 5)")
+    parser.add_argument("--episodes", type=int, default=20,
+                        help="fault episodes for the chaos target "
+                             "(default 20)")
+    parser.add_argument("--seed", type=int, default=1234,
+                        help="campaign RNG seed for the chaos target "
+                             "(default 1234)")
     args = parser.parse_args(argv)
 
     keys = ("N-L", "X-0") if args.quick else CONFIG_KEYS
@@ -149,6 +167,8 @@ def main(argv: list[str] | None = None) -> int:
         print()
     if args.target == "simload":  # canonical output: not part of "all"
         _simload(rounds=args.rounds)
+    if args.target == "chaos":  # canonical output: not part of "all"
+        _chaos(episodes=args.episodes, seed=args.seed)
     return 0
 
 

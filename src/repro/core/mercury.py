@@ -91,6 +91,14 @@ class Mercury:
         self.engine = ModeSwitchEngine(self)
         self.mode = Mode.NATIVE
         self._guests: list[Kernel] = []
+        #: split-driver backends serving hosted guests (watchdog scan set)
+        self._backends: list = []
+        #: ``owner_id -> (guest_addr, num_vcpus)`` — enough to re-host a
+        #: guest after a VMM microreboot (the old Domain dies with the VMM)
+        self._guest_meta: dict[int, tuple[str, int]] = {}
+        #: installed by repro.watchdog.Watchdog / core.recovery.RecoveryManager
+        self.watchdog = None
+        self.recovery = None
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -221,9 +229,11 @@ class Mercury:
         guest = Kernel(self.machine, guest_vo, owner_id=owner_id, name=name,
                        has_devices=False)
         domain.guest = guest
-        connect_split_block(guest, self.kernel, self.vmm)
-        connect_split_net(guest, self.kernel, self.vmm,
-                          guest_addr or f"{self.machine.nic.addr}:u{owner_id}")
+        addr = guest_addr or f"{self.machine.nic.addr}:u{owner_id}"
+        _, blk_back = connect_split_block(guest, self.kernel, self.vmm)
+        _, net_back = connect_split_net(guest, self.kernel, self.vmm, addr)
+        self._backends.extend([blk_back, net_back])
+        self._guest_meta[owner_id] = (addr, num_vcpus)
         guest.boot(image_pages=image_pages)
         self._guests.append(guest)
         return guest

@@ -129,6 +129,20 @@ class RingError(VMMError):
     """Shared-memory I/O ring protocol violation (overrun, bad index)."""
 
 
+class VmmCorruption(VMMError):
+    """A VMI-style watchdog scan found corrupted VMM/guest structures.
+
+    The verdict names the failed invariant so recovery and tests can key
+    off *what* broke, not just that something did; ``detail`` carries the
+    human-readable evidence from the scan."""
+
+    def __init__(self, invariant: str, detail: str = ""):
+        super().__init__(f"VMM corruption: {invariant}"
+                         + (f" ({detail})" if detail else ""))
+        self.invariant = invariant
+        self.detail = detail
+
+
 # --------------------------------------------------------------------------
 # Mercury (self-virtualization) faults
 # --------------------------------------------------------------------------
@@ -183,6 +197,11 @@ class SwitchAborted(MercuryError):
 class ConsistencyViolation(MercuryError):
     """An internal invariant check failed.  This should never escape in a
     correct build; tests assert that specific misuse raises it."""
+
+
+class RecoveryError(MercuryError):
+    """VMM-fault recovery (emergency detach + microreboot + re-attach)
+    could not restore a healthy attached state."""
 
 
 # --------------------------------------------------------------------------

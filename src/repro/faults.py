@@ -85,7 +85,44 @@ WORKLOAD_SITES: tuple[FaultSite, ...] = (
               during_switch=False),
 )
 
-ALL_SITES: tuple[FaultSite, ...] = SWITCH_SITES + WORKLOAD_SITES
+# -- in-attached-mode VMM corruption sites (ReHype-style, chaos campaign) --
+
+VMM_PAGEINFO_CORRUPT = "vmm.pageinfo-corrupt"
+VMM_CHANNEL_WEDGED = "vmm.event-channel-wedged"
+VMM_BACKEND_DEAD = "vmm.backend-dead"
+VMM_GRANT_POISONED = "vmm.grant-poisoned"
+VMM_REFCOUNT_BALLOON = "vmm.refcount-balloon"
+VMM_TRAP_VECTOR_DROPPED = "vmm.trap-vector-dropped"
+
+#: corruption of the *attached* VMM's own structures — not switch-pipeline
+#: seams.  These are state corruptors injected by :func:`inject_vmm_fault`
+#: while a workload runs; the watchdog must notice and recovery must
+#: microreboot the VMM under the live guest (ReHype, PAPERS.md)
+VMM_SITES: tuple[FaultSite, ...] = (
+    FaultSite(VMM_PAGEINFO_CORRUPT,
+              "a PageInfoTable column cell (type or type_count) is "
+              "silently corrupted, poisoning later validations",
+              during_switch=False),
+    FaultSite(VMM_CHANNEL_WEDGED,
+              "a connected event channel is left pending+masked forever, "
+              "so its upcall never runs again", during_switch=False),
+    FaultSite(VMM_BACKEND_DEAD,
+              "a split-driver backend wedges inside poll (its re-entry "
+              "guard sticks), going dead to all future kicks",
+              during_switch=False),
+    FaultSite(VMM_GRANT_POISONED,
+              "a grant entry is poisoned: retargeted at a VMM-owned frame "
+              "or given an impossible negative map count",
+              during_switch=False),
+    FaultSite(VMM_REFCOUNT_BALLOON,
+              "the switch-gating VO reference count balloons, wedging "
+              "every future mode-switch commit", during_switch=False),
+    FaultSite(VMM_TRAP_VECTOR_DROPPED,
+              "a registered trap-table vector vanishes, so the VMM "
+              "silently drops that interrupt", during_switch=False),
+)
+
+ALL_SITES: tuple[FaultSite, ...] = SWITCH_SITES + WORKLOAD_SITES + VMM_SITES
 _SITE_BY_NAME = {s.name: s for s in ALL_SITES}
 
 
@@ -210,3 +247,102 @@ def injected(plan: FaultPlan) -> Iterator[FaultPlan]:
         yield plan
     finally:
         clear_plan()
+
+
+# ---------------------------------------------------------------------------
+# VMM-state corruptors (the chaos campaign's injection arm)
+# ---------------------------------------------------------------------------
+#
+# Unlike the switch-pipeline sites — which raise an exception *at* a seam the
+# pipeline traverses — VMM sites corrupt resident state in place and return.
+# Nothing fails at injection time; the damage is latent until the watchdog
+# scan (or a later workload touch) trips over it.  ``variant`` selects the
+# victim deterministically (index-mod over the eligible set) so hypothesis
+# can sweep single-field corruptions without randomness.
+
+#: how far the refcount balloon inflates (well past the watchdog threshold)
+REFCOUNT_BALLOON_AMOUNT = 1000
+
+
+def _record_injection(site_name: str, cpu_id: Optional[int] = None) -> None:
+    """Mirror :meth:`FaultPlan.check`'s bookkeeping for a direct injection:
+    the lifetime counter, the active plan's audit log, and the trace mark."""
+    global _INJECTED_TOTAL
+    _INJECTED_TOTAL += 1
+    if _ACTIVE is not None:
+        _ACTIVE.injected += 1
+        _ACTIVE.log.append((site_name, cpu_id))
+    trace.instant(cpu_id if cpu_id is not None else 0,
+                  "fault.injected", site=site_name)
+
+
+def inject_vmm_fault(site_name: str, mercury, variant: int = 0) -> str:
+    """Corrupt one piece of the *attached* VMM's state in place.
+
+    Returns a short description of what was corrupted (victim + field) for
+    episode logs.  Raises :class:`VMMError` when the stack has no eligible
+    victim for the site (e.g. no connected channel to wedge) and
+    ``ValueError`` on an unknown VMM site — both before any damage is done.
+    """
+    from repro.errors import VMMError
+
+    vmm = mercury.vmm
+    if site_name == VMM_PAGEINFO_CORRUPT:
+        pi = vmm.page_info
+        victim = variant % len(pi.type_count)
+        if (variant // len(pi.type_count)) % 2:
+            pi.type[victim] ^= 1
+            what = f"type[{victim}] bit-flipped"
+        else:
+            pi.type_count[victim] += 7
+            what = f"type_count[{victim}] skewed"
+    elif site_name == VMM_CHANNEL_WEDGED:
+        chans = vmm.events._channels
+        connected = [chans[k] for k in sorted(chans)
+                     if chans[k].peer_domain is not None]
+        if not connected:
+            raise VMMError("no connected event channel to wedge")
+        ch = connected[variant % len(connected)]
+        ch.masked = True
+        ch.pending = True
+        what = f"channel ({ch.owner_domain},{ch.port}) wedged pending+masked"
+    elif site_name == VMM_BACKEND_DEAD:
+        backends = getattr(mercury, "_backends", [])
+        if not backends:
+            raise VMMError("no split-driver backend to kill")
+        back = backends[variant % len(backends)]
+        back._in_poll = True
+        what = f"{type(back).__name__} wedged in poll"
+    elif site_name == VMM_GRANT_POISONED:
+        entries = vmm.grants._entries
+        live = [entries[k] for k in sorted(entries) if not entries[k].revoked]
+        if not live:
+            raise VMMError("no live grant entry to poison")
+        entry = live[variant % len(live)]
+        if (variant // max(1, len(live))) % 2:
+            entry.active_maps = -3
+            what = (f"grant ({entry.granting_domain},{entry.ref}) "
+                    f"active_maps poisoned")
+        else:
+            entry.frame = vmm._reserved_frames[0]
+            what = (f"grant ({entry.granting_domain},{entry.ref}) retargeted "
+                    f"at a VMM frame")
+    elif site_name == VMM_REFCOUNT_BALLOON:
+        if mercury.virtual_vo is None:
+            raise VMMError("no virtual VO whose refcount could balloon")
+        mercury.virtual_vo.refcount += REFCOUNT_BALLOON_AMOUNT
+        what = f"virtual VO refcount +{REFCOUNT_BALLOON_AMOUNT}"
+    elif site_name == VMM_TRAP_VECTOR_DROPPED:
+        if mercury.domain is None:
+            raise VMMError("no driver domain whose trap table could decay")
+        table = mercury.domain.trap_table
+        vectors = sorted(v for v in mercury.kernel.idt.gates if v in table)
+        if not vectors:
+            raise VMMError("no registered trap vector to drop")
+        vector = vectors[variant % len(vectors)]
+        del table[vector]
+        what = f"trap vector {vector:#x} dropped"
+    else:
+        raise ValueError(f"not a VMM fault site: {site_name!r}")
+    _record_injection(site_name)
+    return what

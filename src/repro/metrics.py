@@ -69,6 +69,12 @@ class MetricsSnapshot:
     pending_retries: int = 0
     failed_attempts: int = 0
     faults_injected: int = 0
+    # chaos-to-recovery (VMI watchdog + ReHype-style microreboot)
+    watchdog_scans: int = 0
+    watchdog_detections: int = 0
+    recoveries: int = 0
+    recovery_failures: int = 0
+    emergency_detaches: int = 0
     # tracing (observation-only: both stay 0 unless a tracer is installed)
     trace_events: int = 0
     trace_dropped: int = 0
@@ -190,6 +196,15 @@ class MetricsCollector:
             snap.pending_retries = engine.pending_retries
             snap.failed_attempts = engine.failed_attempts
             snap.retry_histogram = dict(engine.retry_histogram)
+            watchdog = getattr(self.mercury, "watchdog", None)
+            if watchdog is not None:
+                snap.watchdog_scans = watchdog.scans
+                snap.watchdog_detections = watchdog.detections
+            recovery = getattr(self.mercury, "recovery", None)
+            if recovery is not None:
+                snap.recoveries = recovery.recoveries
+                snap.recovery_failures = recovery.recovery_failures
+                snap.emergency_detaches = recovery.emergency_detaches
         from repro import faults, trace
         snap.faults_injected = faults.injected_total()
         tracer = trace.active()
@@ -252,7 +267,12 @@ def format_report(delta: MetricsSnapshot, title: str = "Metrics") -> str:
                            ("switch rollbacks", delta.switch_rollbacks),
                            ("rollback steps", delta.rollback_steps),
                            ("switch aborts", delta.switch_aborts),
-                           ("faults injected", delta.faults_injected)]),
+                           ("faults injected", delta.faults_injected),
+                           ("watchdog scans", delta.watchdog_scans),
+                           ("corruptions found", delta.watchdog_detections),
+                           ("recoveries", delta.recoveries),
+                           ("recovery failures", delta.recovery_failures),
+                           ("emergency detaches", delta.emergency_detaches)]),
         ("tracing", [("trace events", delta.trace_events),
                      ("trace dropped", delta.trace_dropped)]),
     ]

@@ -51,12 +51,24 @@ class HealingRecord:
 
 
 class SelfHealer:
-    """Monitors a self-virtualized OS and heals it through the VMM."""
+    """Monitors a self-virtualized OS and heals it through the VMM.
+
+    One detection loop covers both damage domains: guest-OS anomalies
+    (the sensor suite below, repaired *through* the attached VMM) and
+    VMM-structure corruption (the VMI watchdog's verdicts, repaired by
+    microrebooting the VMM via :class:`~repro.core.recovery.
+    RecoveryManager`).  Pass ``watchdog``/``recovery`` — or pre-install
+    them on the Mercury instance — to enable the VMM half."""
 
     def __init__(self, mercury: Mercury,
-                 sensors: Optional[list[Sensor]] = None):
+                 sensors: Optional[list[Sensor]] = None,
+                 watchdog=None, recovery=None):
         self.mercury = mercury
         self.sensors = sensors if sensors is not None else default_sensors()
+        self.watchdog = (watchdog if watchdog is not None
+                         else getattr(mercury, "watchdog", None))
+        self.recovery = (recovery if recovery is not None
+                         else getattr(mercury, "recovery", None))
         self.history: list[HealingRecord] = []
 
     def scan(self, cpu: Optional["Cpu"] = None) -> list[HealingRecord]:
@@ -68,14 +80,15 @@ class SelfHealer:
         kernel = mercury.kernel
         cpu = cpu or mercury.machine.boot_cpu
 
+        records = self._scan_vmm(cpu)
         firing = [s for s in self.sensors if s.detect(kernel)]
         if not firing:
-            return []
+            return records
 
         was_native = mercury.mode is Mode.NATIVE
         if was_native:
             mercury.attach(cpu)
-        records = []
+        vmm_records, records = records, []
         try:
             for sensor in firing:
                 sensor.fires += 1
@@ -95,7 +108,34 @@ class SelfHealer:
             self.history.extend(records)
             if was_native and mercury.mode is not Mode.NATIVE:
                 mercury.detach(cpu)
-        return records
+        return vmm_records + records
+
+    def _scan_vmm(self, cpu: "Cpu") -> list[HealingRecord]:
+        """The VMM half of the loop: consume a watchdog verdict (running a
+        fresh scan if none is pending) and heal by microreboot."""
+        watchdog, recovery = self.watchdog, self.recovery
+        if watchdog is None or recovery is None:
+            return []
+        verdict = watchdog.take_verdict()
+        if verdict is None:
+            verdict = watchdog.scan(cpu)
+            watchdog.pending_verdict = None
+        if verdict is None:
+            return []
+        record = recovery.recover(verdict, cpu=cpu)
+        if record is None:  # re-entrant scan during a recovery
+            return []
+        healing = HealingRecord(
+            sensor_name=f"vmm:{record.invariant}",
+            detected_at_cycles=record.detected_at,
+            repair_cycles=record.mttr_cycles or 0,
+            healed=record.success)
+        self.history.append(healing)
+        if not record.success:
+            raise HealingError(
+                f"VMM recovery for {record.invariant!r} failed: "
+                f"{record.error}")
+        return [healing]
 
 
 # ---------------------------------------------------------------------------

@@ -104,6 +104,46 @@ def detach_rollback_smp() -> list[str]:
     return _canon(tracer)
 
 
+def _recovery(num_cpus: int, site: str) -> list[str]:
+    """Detect → emergency-detach → re-precache → re-attach, traced.
+
+    The stack hosts a guest (the victim population of every VMM fault),
+    the watchdog convicts in one scan, and the microreboot runs to
+    completion — so the golden pins the whole chaos-to-recovery span tree:
+    ``watchdog.corruption`` → ``recovery.microreboot`` wrapping
+    ``recovery.emergency-detach`` / ``recovery.re-precache`` /
+    ``recovery.re-attach`` and the guest re-host instants."""
+    from repro.core.recovery import RecoveryManager
+    from repro.watchdog import Watchdog
+
+    machine, mercury = _stack(num_cpus=num_cpus)
+    mercury.attach()
+    mercury.host_guest(image_pages=8)
+    watchdog = Watchdog(mercury, suspect_scans=1)
+    manager = RecoveryManager(mercury)
+    with trace.tracing(machine) as tracer:
+        faults.inject_vmm_fault(site, mercury)
+        verdict = watchdog.scan()
+        if verdict is None:
+            raise AssertionError(f"{site} escaped the watchdog scan")
+        record = manager.recover(verdict)
+        if not record.success:
+            raise AssertionError(f"recovery from {site} failed")
+    return _canon(tracer)
+
+
+def recovery_up() -> list[str]:
+    """Uniprocessor microreboot from a corrupted page-info table."""
+    return _recovery(num_cpus=1, site=faults.VMM_PAGEINFO_CORRUPT)
+
+
+def recovery_smp() -> list[str]:
+    """Two-CPU microreboot from a dropped trap vector: the emergency
+    detach reloads the secondary inline (no rendezvous — the VMM state is
+    distrusted), then the re-attach runs the normal SMP protocol."""
+    return _recovery(num_cpus=2, site=faults.VMM_TRAP_VECTOR_DROPPED)
+
+
 SCENARIOS: dict[str, Callable[[], list[str]]] = {
     "attach_up": attach_up,
     "detach_up": detach_up,
@@ -111,4 +151,6 @@ SCENARIOS: dict[str, Callable[[], list[str]]] = {
     "detach_smp": detach_smp,
     "attach_rollback_up": attach_rollback_up,
     "detach_rollback_smp": detach_rollback_smp,
+    "recovery_up": recovery_up,
+    "recovery_smp": recovery_smp,
 }

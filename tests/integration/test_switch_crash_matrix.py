@@ -228,3 +228,121 @@ def test_matrix_covers_every_registered_switch_site():
     site is automatically matrix-tested — this guards the derivation."""
     assert set(SITE_NAMES) == {s.name for s in faults.SWITCH_SITES}
     assert len(SITE_NAMES) >= 7
+
+
+# ---------------------------------------------------------------------------
+# the recovery matrix: every in-attached-mode VMM fault site × topology ×
+# load state must end in a watchdog detection and a microreboot that leaves
+# the stack fingerprint-exact and the guest alive
+# ---------------------------------------------------------------------------
+
+VMM_SITE_NAMES = [s.name for s in faults.VMM_SITES]
+LOAD_STATES = ["quiescent", "busy"]
+
+
+def _attached_stack(ncpus: int) -> Mercury:
+    mercury = _stack(ncpus)
+    assert mercury.attach() is not None
+    mercury.host_guest(image_pages=8)
+    return mercury
+
+
+def _recovery_fingerprint(mercury: Mercury) -> dict:
+    """Everything a VMM microreboot could get wrong, id-free: the rebooted
+    VMM is a *new* object graph hosting the *same* kernel and guests, so the
+    fingerprint compares semantics (counts, DPLs, owners, pinned frames),
+    never object identities."""
+    kernel = mercury.kernel
+    return {
+        "mode": mercury.mode,
+        "vmm_active": mercury.vmm.active,
+        "kernel_on_virtual_vo": kernel.vo is mercury.virtual_vo,
+        "vo_refcount": kernel.vo.refcount,
+        "guest_vo_refcounts": [g.vo.refcount for g in mercury._guests],
+        "segment_dpl": kernel.vo.data.kernel_segment_dpl,
+        # boot CPU only: a guest's boot stomps secondary GDTs with its own
+        # firmware-style copies, so those reflect whichever kernel last
+        # booted there — transient placement, not state recovery must keep
+        "gdt_dpls": {sel: d.dpl
+                     for sel, d in mercury.machine.boot_cpu.gdt.items()},
+        "idt_owners": {c.cpu_id: getattr(c.idt_base, "owner", None)
+                       for c in mercury.machine.cpus},
+        # the same aspaces re-pin the same pgd frames after the reboot
+        "pinned": set(mercury.vmm.page_info.pinned),
+        "kernel_aspaces": len(mercury.domain.aspaces),
+        "guest_aspaces": [len(g.vo.domain.aspaces) for g in mercury._guests],
+        "guest_names": [g.name for g in mercury._guests],
+        "backends": len(mercury._backends),
+        "interrupts": {c.cpu_id: c.interrupts_enabled
+                       for c in mercury.machine.cpus},
+    }
+
+
+@pytest.mark.parametrize("ncpus", TOPOLOGIES, ids=["up", "smp"])
+@pytest.mark.parametrize("site_name", VMM_SITE_NAMES)
+def test_quiescent_vmm_fault_recovers_fingerprint_exact(site_name, ncpus):
+    """At rest: inject → one watchdog scan detects → microreboot → the
+    stack is semantically identical and still runs work."""
+    from repro.core.recovery import RecoveryManager
+    from repro.watchdog import Watchdog
+
+    mercury = _attached_stack(ncpus)
+    watchdog = Watchdog(mercury, suspect_scans=1)
+    manager = RecoveryManager(mercury)
+    assert watchdog.scan() is None, "stack must start clean"
+    before = _recovery_fingerprint(mercury)
+
+    faults.inject_vmm_fault(site_name, mercury)
+    verdict = watchdog.scan()
+    assert verdict is not None, f"{site_name} escaped the watchdog"
+
+    record = manager.recover(verdict)
+    assert record.success
+    assert record.mttr_cycles > 0
+    assert record.guests_rehosted == 1
+    assert _recovery_fingerprint(mercury) == before
+    assert check_all(mercury) == []
+    assert watchdog.scan() is None, "residual corruption after recovery"
+
+    snap = _metrics(mercury)
+    assert snap.watchdog_detections >= 1
+    assert snap.recoveries == 1
+    assert snap.recovery_failures == 0
+    assert snap.emergency_detaches == 1
+    _smoke(mercury)
+
+
+@pytest.mark.parametrize("ncpus", TOPOLOGIES, ids=["up", "smp"])
+@pytest.mark.parametrize("site_name", VMM_SITE_NAMES)
+def test_busy_vmm_fault_recovers_under_workload(site_name, ncpus):
+    """Under load: the same fault lands mid-workload under the sim
+    scheduler; the campaign episode must detect, recover, finish the
+    workload, and leave the guest answering syscalls."""
+    from repro.bench.chaoscampaign import run_episode
+    from repro.hw.machine import reset_machine_ids
+
+    reset_machine_ids()
+    episode = run_episode(index=0, site=site_name, variant=0,
+                          trigger_cycles=2_000_000, workload="kbuild",
+                          num_cpus=ncpus)
+    assert episode.injected
+    assert episode.detected, f"{site_name} escaped the watchdog under load"
+    assert episode.recovered
+    assert episode.workload_ok, episode.workload_error
+    assert episode.guest_alive
+    assert episode.invariant_failures == 0
+    assert not episode.residual_verdict
+    assert episode.success
+
+
+def test_recovery_matrix_covers_every_registered_vmm_site():
+    """Derived from the registry like the switch matrix above: a new VMM
+    fault site is automatically recovery-tested."""
+    assert set(VMM_SITE_NAMES) == {s.name for s in faults.VMM_SITES}
+    assert len(VMM_SITE_NAMES) >= 6
+    # the union registry keeps all three catalogues disjoint and complete
+    assert set(s.name for s in faults.ALL_SITES) == (
+        set(s.name for s in faults.SWITCH_SITES)
+        | set(s.name for s in faults.WORKLOAD_SITES)
+        | set(VMM_SITE_NAMES))
+    assert not set(VMM_SITE_NAMES) & set(SITE_NAMES)

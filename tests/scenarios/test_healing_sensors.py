@@ -1,0 +1,200 @@
+"""Unit coverage for the §6.2 sensor suite and the watchdog wiring.
+
+The cluster-level tests exercise the sensors through ``SelfHealer.scan``;
+here each built-in ``detect``/``repair`` pair is driven directly (fires on
+exactly the anomaly it owns, repairs to a state its own detector accepts,
+stays quiet on healthy kernels), and the VMM half of the detection loop —
+watchdog verdict → microreboot → ``vmm:<invariant>`` history record — is
+pinned down.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+from repro.core.mercury import Mode
+from repro.core.recovery import RecoveryManager
+from repro.errors import HealingError
+from repro.guestos.process import TaskState
+from repro.scenarios.healing import (SelfHealer, default_sensors,
+                                     _detect_frame_ref_skew,
+                                     _detect_fs_corruption,
+                                     _detect_proc_table_skew,
+                                     _detect_runqueue_damage,
+                                     _repair_frame_refs, _repair_fs,
+                                     _repair_proc_table, _repair_runqueue)
+from repro.watchdog import Watchdog
+
+
+def _sensor(name):
+    return next(s for s in default_sensors() if s.name == name)
+
+
+# ---------------------------------------------------------------------------
+# the four built-in detect/repair pairs, driven directly
+# ---------------------------------------------------------------------------
+
+def test_runqueue_pair(mercury):
+    k = mercury.kernel
+    cpu = mercury.machine.boot_cpu
+    assert not _detect_runqueue_damage(k)
+
+    t = k.scheduler.current
+    k.scheduler.runqueue.extend([t, t])  # duplicate pid
+    assert _detect_runqueue_damage(k)
+    _repair_runqueue(k, cpu)
+    assert not _detect_runqueue_damage(k)
+    assert [x.pid for x in k.scheduler.runqueue].count(t.pid) <= 1
+
+    pid = k.syscall(cpu, "fork")
+    zombie = k.procs.get(pid)
+    zombie.state = TaskState.ZOMBIE
+    assert _detect_runqueue_damage(k)
+    _repair_runqueue(k, cpu)
+    assert zombie not in k.scheduler.runqueue
+    assert not _detect_runqueue_damage(k)
+
+
+def test_proc_table_pair(mercury):
+    k = mercury.kernel
+    cpu = mercury.machine.boot_cpu
+    assert not _detect_proc_table_skew(k)
+
+    pid = k.syscall(cpu, "fork")
+    child = k.procs.get(pid)
+    child.pid = pid + 500  # key/task disagreement
+    assert _detect_proc_table_skew(k)
+    _repair_proc_table(k, cpu)
+    assert not _detect_proc_table_skew(k)
+    assert k.procs.tasks[pid].pid == pid
+
+
+def test_fs_metadata_pair(mercury):
+    from repro.guestos.fs import BLOCK_SIZE
+    k = mercury.kernel
+    cpu = mercury.machine.boot_cpu
+    assert not _detect_fs_corruption(k)
+
+    fd = k.syscall(cpu, "open", "/f", True)
+    k.syscall(cpu, "write", fd, "x", 100)
+    inode = k.fs.inodes["/f"]
+    inode.size = 10_000_000
+    inode.nlink = -2
+    assert _detect_fs_corruption(k)
+    _repair_fs(k, cpu)
+    assert not _detect_fs_corruption(k)
+    assert inode.size <= len(inode.blocks) * BLOCK_SIZE
+    assert inode.nlink >= 0
+
+
+def test_frame_refs_pair(mercury):
+    k = mercury.kernel
+    cpu = mercury.machine.boot_cpu
+    assert not _detect_frame_ref_skew(k)
+
+    leaked = k.machine.memory.alloc(k.owner_id)
+    k.vmem._frame_refs[leaked] = 3
+    assert _detect_frame_ref_skew(k)
+    _repair_frame_refs(k, cpu)
+    assert not _detect_frame_ref_skew(k)
+    assert leaked not in k.vmem._frame_refs
+    # the repairer also returned the orphaned frame to the allocator
+    assert k.machine.memory.owner_of(leaked) != k.owner_id
+
+
+def test_each_sensor_ignores_the_other_anomalies(mercury):
+    """Sensors are orthogonal: runqueue damage must not trip the fs or
+    proc-table detectors and vice versa."""
+    k = mercury.kernel
+    t = k.scheduler.current
+    k.scheduler.runqueue.extend([t, t])
+    assert not _detect_proc_table_skew(k)
+    assert not _detect_fs_corruption(k)
+    assert not _detect_frame_ref_skew(k)
+    _repair_runqueue(k, mercury.machine.boot_cpu)
+
+
+def test_sensor_fire_counters(mercury):
+    k = mercury.kernel
+    healer = SelfHealer(mercury)
+    t = k.scheduler.current
+    k.scheduler.runqueue.extend([t, t])
+    healer.scan()
+    assert _sensor("runqueue").fires == 0  # fresh suite: per-instance count
+    assert next(s for s in healer.sensors if s.name == "runqueue").fires == 1
+
+
+# ---------------------------------------------------------------------------
+# the VMM half of the loop: watchdog verdicts heal through a microreboot
+# ---------------------------------------------------------------------------
+
+def _vmm_stack(mercury):
+    mercury.attach()
+    mercury.host_guest(image_pages=8)
+    watchdog = Watchdog(mercury, suspect_scans=1)
+    recovery = RecoveryManager(mercury)
+    return watchdog, recovery
+
+
+def test_healer_consumes_pending_watchdog_verdict(mercury):
+    watchdog, recovery = _vmm_stack(mercury)
+    faults.inject_vmm_fault(faults.VMM_TRAP_VECTOR_DROPPED, mercury)
+    assert watchdog.scan() is not None  # verdict now pending
+
+    healer = SelfHealer(mercury)  # picks watchdog/recovery off mercury
+    records = healer.scan()
+    assert [r.sensor_name for r in records] == ["vmm:trap-table"]
+    assert records[0].healed
+    assert records[0].repair_cycles > 0
+    assert healer.history == records
+    assert watchdog.pending_verdict is None
+    assert recovery.recoveries == 1
+    assert mercury.mode is Mode.PARTIAL_VIRTUAL
+
+
+def test_healer_runs_its_own_scan_when_none_pending(mercury):
+    watchdog, recovery = _vmm_stack(mercury)
+    faults.inject_vmm_fault(faults.VMM_REFCOUNT_BALLOON, mercury)
+    assert watchdog.pending_verdict is None
+
+    records = SelfHealer(mercury).scan()
+    assert [r.sensor_name for r in records] == ["vmm:vo-refcount"]
+    assert recovery.recoveries == 1
+
+
+def test_one_pass_covers_both_damage_domains(mercury):
+    """A single ``scan()`` heals VMM corruption *and* guest-OS damage —
+    the 'one detection loop' contract."""
+    watchdog, recovery = _vmm_stack(mercury)
+    k = mercury.kernel
+    k.scheduler.runqueue.extend([k.scheduler.current] * 2)
+    faults.inject_vmm_fault(faults.VMM_GRANT_POISONED, mercury)
+
+    records = SelfHealer(mercury).scan()
+    names = [r.sensor_name for r in records]
+    assert names == ["vmm:grant-refs", "runqueue"]
+    assert all(r.healed for r in records)
+    assert recovery.recoveries == 1
+
+
+def test_healer_without_watchdog_skips_vmm_half(mercury):
+    mercury.attach()
+    assert SelfHealer(mercury).scan() == []  # no watchdog installed: guest
+    # sensors only, and a healthy kernel scans clean
+
+
+def test_failed_recovery_surfaces_as_healing_error(mercury, monkeypatch):
+    watchdog, recovery = _vmm_stack(mercury)
+    faults.inject_vmm_fault(faults.VMM_CHANNEL_WEDGED, mercury)
+    watchdog.scan()
+
+    def broken_reattach(cpu=None, wait=True):
+        from repro.errors import RecoveryError
+        raise RecoveryError("re-attach refused")
+
+    monkeypatch.setattr(mercury, "attach", broken_reattach)
+    healer = SelfHealer(mercury)
+    with pytest.raises((HealingError, Exception)):
+        healer.scan()
+    assert recovery.recovery_failures == 1
