@@ -9,15 +9,22 @@ Targets:
   per-phase latency breakdown (``--trace-json FILE`` for chrome://tracing)
 - ``simload``             — the §5.1.1 switch-under-load scenario under the
   deterministic simulation scheduler; emits canonical output suitable for
-  byte-for-byte diffing (the CI ``sched-determinism`` job runs it twice)
+  byte-for-byte diffing (the CI ``sched-determinism`` job runs it twice).
+  With ``--machines N`` it becomes the sharded-fleet scenario: N storm
+  machines in a heartbeat ring, partitioned over ``--workers`` shards —
+  the output stays byte-identical at every worker count (the CI
+  ``shard-determinism`` job diffs exactly that)
 - ``chaos``               — the VMM-fault chaos campaign: seeded fault
   episodes with VMI-watchdog detection and microreboot recovery; emits
-  canonical output (the CI ``chaos-recovery`` job runs it twice)
+  canonical output (the CI ``chaos-recovery`` job runs it twice);
+  ``--workers N`` fans episodes across processes without changing a byte
 - ``all``                 — everything, in paper order
 
 Options: ``--quick`` (N-L and X-0 columns only), ``--mem-kb N``,
 ``--cpus N`` (trace target), ``--trace-json FILE``, ``--rounds N``
-(simload storm rounds), ``--episodes N`` / ``--seed N`` (chaos campaign).
+(simload storm rounds), ``--machines N`` / ``--workers N`` (sharded
+simload fleet; workers also parallelizes chaos), ``--episodes N`` /
+``--seed N`` (chaos campaign).
 """
 
 from __future__ import annotations
@@ -83,25 +90,34 @@ def _trace_switch(config, num_cpus: int, json_path: str | None) -> None:
               f"(load in chrome://tracing or Perfetto)")
 
 
-def _simload(rounds: int) -> None:
+def _simload(rounds: int, machines: int, workers: int) -> None:
     """Run the switch-under-load scenario and print its canonical output.
 
-    Everything printed is a pure function of the parameters; run twice and
-    ``diff`` to check scheduler determinism."""
-    from repro.bench.underload import run_switch_under_load
+    Everything printed is a pure function of the parameters; run twice
+    (or at different ``--workers``) and ``diff`` to check scheduler and
+    sharding determinism."""
+    from repro.bench.underload import (run_fleet_under_load,
+                                       run_switch_under_load)
     from repro.hw.machine import reset_machine_ids
 
+    if machines > 1:
+        result = run_fleet_under_load(machines=machines, workers=workers,
+                                      rounds=rounds)
+        sys.stdout.write(result.canonical_output())
+        return
     reset_machine_ids()
     result = run_switch_under_load(rounds=rounds)
     sys.stdout.write(result.canonical_output())
 
 
-def _chaos(episodes: int, seed: int) -> None:
+def _chaos(episodes: int, seed: int, workers: int) -> None:
     """Run the chaos campaign and print its canonical output (byte-exact
-    for a given seed/episode count — the chaos-recovery CI contract)."""
+    for a given seed/episode count at any worker count — the
+    chaos-recovery and shard-determinism CI contracts)."""
     from repro.bench.chaoscampaign import run_chaos_campaign
 
-    result = run_chaos_campaign(episodes=episodes, seed=seed)
+    result = run_chaos_campaign(episodes=episodes, seed=seed,
+                                workers=workers)
     sys.stdout.write(result.canonical_output())
 
 
@@ -122,6 +138,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--rounds", type=int, default=5,
                         help="attach/detach rounds for the simload target "
                              "(default 5)")
+    parser.add_argument("--machines", type=int, default=1,
+                        help="simload fleet size; >1 runs the sharded "
+                             "heartbeat-ring scenario (default 1)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the sharded simload "
+                             "fleet and the chaos campaign (default 1)")
     parser.add_argument("--episodes", type=int, default=20,
                         help="fault episodes for the chaos target "
                              "(default 20)")
@@ -166,9 +188,11 @@ def main(argv: list[str] | None = None) -> int:
         _trace_switch(config, num_cpus=args.cpus, json_path=args.trace_json)
         print()
     if args.target == "simload":  # canonical output: not part of "all"
-        _simload(rounds=args.rounds)
+        _simload(rounds=args.rounds, machines=args.machines,
+                 workers=args.workers)
     if args.target == "chaos":  # canonical output: not part of "all"
-        _chaos(episodes=args.episodes, seed=args.seed)
+        _chaos(episodes=args.episodes, seed=args.seed,
+               workers=args.workers)
     return 0
 
 

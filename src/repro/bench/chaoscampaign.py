@@ -8,11 +8,14 @@ VMI watchdog + recovery manager do their job.  The campaign aggregates
 per-incident MTTR into p50/p99, the recovery-success rate and
 workload-result integrity — the numbers `BENCH_recovery.json` gates on.
 
-Everything is a pure function of ``(seed, episode parameters)``: the RNG
-is ``random.Random(f"chaos:{seed}")``, machine numbering is reset at
-campaign start, and the scheduler/clock pair is deterministic, so two
-same-seed campaigns produce byte-identical :meth:`CampaignResult.
-canonical_output` (the CI ``chaos-recovery`` job diffs exactly that).
+Everything is a pure function of ``(seed, episode parameters)``: episode
+``index`` draws its parameters from its own
+``random.Random(f"chaos:{seed}:{index}")`` stream, each episode builds
+its stack under an isolated machine-id allocator, and the scheduler/clock
+pair is deterministic — so episodes are order-independent and the
+campaign parallelizes (``workers=``) without changing a byte of
+:meth:`CampaignResult.canonical_output` (the CI ``chaos-recovery`` job
+diffs exactly that across worker counts).
 
 Episode anatomy
 ---------------
@@ -41,9 +44,9 @@ from repro.core.invariants import check_all
 from repro.core.mercury import Mercury
 from repro.core.recovery import RecoveryManager
 from repro.errors import ReproError
-from repro.hw.machine import Machine, reset_machine_ids
+from repro.hw.machine import Machine, isolated_machine_ids, reset_machine_ids
 from repro.params import small_config
-from repro.sim import Join, SimScheduler, WaitFor
+from repro.sim import Join, SimScheduler, WaitFor, parallel_episodes
 from repro.watchdog import Watchdog
 from repro.workloads.dbench import dbench_task
 from repro.workloads.kbuild import kbuild_task
@@ -233,12 +236,16 @@ def run_episode(index: int, site: str, variant: int, trigger_cycles: int,
                             num_cpus=num_cpus)
     import dataclasses
     config = dataclasses.replace(small_config(), num_cpus=num_cpus)
-    machine = Machine(config)
-    mercury = Mercury(machine)
-    kernel = mercury.create_kernel(image_pages=16)
-    mercury.engine.max_retries = 64
-    mercury.attach()
-    guest = mercury.host_guest(image_pages=8)
+    # isolated numbering: machine identity depends only on the episode
+    # parameters, never on which worker (or how many prior episodes) built
+    # this stack — the property that lets episodes run in any process
+    with isolated_machine_ids():
+        machine = Machine(config)
+        mercury = Mercury(machine)
+        kernel = mercury.create_kernel(image_pages=16)
+        mercury.engine.max_retries = 64
+        mercury.attach()
+        guest = mercury.host_guest(image_pages=8)
     watchdog = Watchdog(mercury, suspect_scans=2)
     manager = RecoveryManager(mercury)
 
@@ -304,23 +311,39 @@ def run_episode(index: int, site: str, variant: int, trigger_cycles: int,
     return episode
 
 
+def episode_params(seed: int, index: int,
+                   scan_interval: int = SCAN_INTERVAL_CYCLES) -> tuple:
+    """Parameter tuple for episode ``index`` — the :func:`run_episode`
+    argument list, drawn from the episode's *own* RNG stream.
+
+    Keyed by ``(seed, index)`` rather than position in a shared stream,
+    so parallel workers computing any subset of episodes agree with the
+    serial campaign draw-for-draw."""
+    rng = random.Random(f"chaos:{seed}:{index}")
+    site = CAMPAIGN_SITES[rng.randrange(len(CAMPAIGN_SITES))]
+    variant = rng.randrange(8)
+    trigger = rng.randrange(TRIGGER_MIN_CYCLES, TRIGGER_MAX_CYCLES)
+    workload = WORKLOADS[rng.randrange(len(WORKLOADS))]
+    num_cpus = 1 + rng.randrange(2)
+    return (index, site, variant, trigger, workload, num_cpus,
+            scan_interval)
+
+
 def run_chaos_campaign(episodes: int = 50, seed: int = 1234,
-                       scan_interval: int = SCAN_INTERVAL_CYCLES
-                       ) -> CampaignResult:
-    """Run ``episodes`` seeded fault episodes; aggregate the campaign."""
-    reset_machine_ids()
-    rng = random.Random(f"chaos:{seed}")
+                       scan_interval: int = SCAN_INTERVAL_CYCLES,
+                       workers: int = 1) -> CampaignResult:
+    """Run ``episodes`` seeded fault episodes; aggregate the campaign.
+
+    ``workers > 1`` fans episodes across spawned processes
+    (:func:`~repro.sim.pool.parallel_episodes`); every episode is a pure
+    function of its parameter tuple, so the result list — and therefore
+    the canonical output — is identical at every worker count."""
     freq = small_config().cost.freq_mhz
     campaign = CampaignResult(seed=seed, episodes=episodes, freq_mhz=freq)
-    for index in range(episodes):
-        site = CAMPAIGN_SITES[rng.randrange(len(CAMPAIGN_SITES))]
-        variant = rng.randrange(8)
-        trigger = rng.randrange(TRIGGER_MIN_CYCLES, TRIGGER_MAX_CYCLES)
-        workload = WORKLOADS[rng.randrange(len(WORKLOADS))]
-        num_cpus = 1 + rng.randrange(2)
-        campaign.results.append(
-            run_episode(index, site, variant, trigger, workload, num_cpus,
-                        scan_interval=scan_interval))
+    params = [episode_params(seed, index, scan_interval)
+              for index in range(episodes)]
+    campaign.results = parallel_episodes(run_episode, params,
+                                         workers=workers)
     return campaign
 
 

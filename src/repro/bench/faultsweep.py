@@ -8,7 +8,9 @@ bounded-retry consumption, terminal aborts.
 
 Randomness is a seeded :class:`random.Random` *deciding which faults to
 arm*; each armed fault itself is the deterministic :mod:`repro.faults`
-machinery, so a sweep point is exactly reproducible from (seed, rate).
+machinery, so a sweep point is exactly reproducible from (seed, rate) —
+which also makes points order-independent, and the sweep fans across
+worker processes (``workers=``) without changing a single number.
 """
 
 from __future__ import annotations
@@ -20,7 +22,9 @@ from repro import Machine, Mercury, faults, small_config
 from repro.core.invariants import check_all
 from repro.core.mercury import Mode
 from repro.errors import SwitchAborted
+from repro.hw.machine import isolated_machine_ids
 from repro.metrics import MetricsCollector
+from repro.sim.pool import parallel_episodes
 
 #: probability that an armed fault is persistent (never clears, so the
 #: switch must terminally abort) rather than single-shot
@@ -58,50 +62,58 @@ def _workload_tick(mercury: Mercury, rng: random.Random) -> None:
         kernel.vmem.access(cpu, kernel.scheduler.current, base, write=True)
 
 
-def run_fault_sweep(rates=DEFAULT_RATES, rounds: int = 24,
-                    seed: int = 1234) -> list[SweepPoint]:
-    """One fresh Mercury stack per rate; ``rounds`` switch attempts each."""
-    points: list[SweepPoint] = []
+def sweep_point(rate: float, rounds: int = 24,
+                seed: int = 1234) -> SweepPoint:
+    """One fresh Mercury stack at one fault probability; a pure function
+    of ``(rate, rounds, seed)`` (module-level so worker processes can
+    import it by reference)."""
     armable = [s.name for s in faults.SWITCH_SITES if not s.smp_only]
-    for rate in rates:
-        rng = random.Random(f"faultsweep:{seed}:{rate}")
+    rng = random.Random(f"faultsweep:{seed}:{rate}")
+    with isolated_machine_ids():
         mercury = Mercury(Machine(small_config(mem_kb=32768)))
         mercury.create_kernel(image_pages=8)
-        collector = MetricsCollector(mercury.machine, kernel=mercury.kernel,
-                                     mercury=mercury)
-        commits = aborts = injected = 0
-        for _ in range(rounds):
-            _workload_tick(mercury, rng)
-            plan = faults.FaultPlan()
-            if rng.random() < rate:
-                times = None if rng.random() < PERSISTENT_SHARE else 1
-                plan.arm(rng.choice(armable), times=times)
-            with faults.injected(plan):
-                try:
-                    rec = (mercury.attach() if mercury.mode is Mode.NATIVE
-                           else mercury.detach())
-                    if rec is not None:
-                        commits += 1
-                except SwitchAborted:
-                    aborts += 1
-            injected += plan.injected
-        freq = mercury.machine.config.cost.freq_mhz
-        records = mercury.switch_records
-        mean_us = (sum(r.us(freq) for r in records)
-                   / len(records)) if records else 0.0
-        snap = collector.snapshot()
-        points.append(SweepPoint(
-            fault_rate=rate,
-            switch_attempts=rounds,
-            commits=commits,
-            aborts=aborts,
-            rollbacks=snap.switch_rollbacks,
-            retries=snap.switch_retries + snap.pending_retries,
-            faults_injected=injected,
-            invariant_violations=len(check_all(mercury)),
-            mean_switch_us=round(mean_us, 2),
-        ))
-    return points
+    collector = MetricsCollector(mercury.machine, kernel=mercury.kernel,
+                                 mercury=mercury)
+    commits = aborts = injected = 0
+    for _ in range(rounds):
+        _workload_tick(mercury, rng)
+        plan = faults.FaultPlan()
+        if rng.random() < rate:
+            times = None if rng.random() < PERSISTENT_SHARE else 1
+            plan.arm(rng.choice(armable), times=times)
+        with faults.injected(plan):
+            try:
+                rec = (mercury.attach() if mercury.mode is Mode.NATIVE
+                       else mercury.detach())
+                if rec is not None:
+                    commits += 1
+            except SwitchAborted:
+                aborts += 1
+        injected += plan.injected
+    freq = mercury.machine.config.cost.freq_mhz
+    records = mercury.switch_records
+    mean_us = (sum(r.us(freq) for r in records)
+               / len(records)) if records else 0.0
+    snap = collector.snapshot()
+    return SweepPoint(
+        fault_rate=rate,
+        switch_attempts=rounds,
+        commits=commits,
+        aborts=aborts,
+        rollbacks=snap.switch_rollbacks,
+        retries=snap.switch_retries + snap.pending_retries,
+        faults_injected=injected,
+        invariant_violations=len(check_all(mercury)),
+        mean_switch_us=round(mean_us, 2),
+    )
+
+
+def run_fault_sweep(rates=DEFAULT_RATES, rounds: int = 24,
+                    seed: int = 1234, workers: int = 1) -> list[SweepPoint]:
+    """One :func:`sweep_point` per rate, optionally across processes."""
+    return parallel_episodes(
+        sweep_point, [(rate, rounds, seed) for rate in rates],
+        workers=workers)
 
 
 def sweep_as_rows(points: list[SweepPoint]) -> list[dict]:

@@ -112,7 +112,17 @@ class Clock:
         """Arrange for ``fn()`` to run once ``delay_cycles`` from now have
         elapsed *and* the machine polls for due events.  Returns a handle
         the caller may :meth:`~TimerHandle.cancel`."""
-        deadline = self.cycles + max(0, int(delay_cycles))
+        return self.schedule_at(self.cycles + max(0, int(delay_cycles)), fn)
+
+    def schedule_at(self, deadline_cycles: int, fn: Callable[[], None]
+                    ) -> TimerHandle:
+        """Schedule at an *absolute* cycle deadline.  The sharded simulation
+        uses this to inject cross-shard events at their agreed delivery
+        cycle; a deadline already in the past is legal and fires at the next
+        poll (a shard whose current slice ran ahead of the barrier horizon
+        services late deliveries exactly where its next interrupt window
+        sits — deterministically)."""
+        deadline = int(deadline_cycles)
         handle = TimerHandle(deadline, next(self._counter), fn)
         heapq.heappush(self._events, (deadline, handle.seq, handle))
         return handle

@@ -7,7 +7,8 @@ clock so end-to-end timings stay coherent.
 
 from __future__ import annotations
 
-from typing import Optional
+from contextlib import contextmanager
+from typing import Iterator, Optional
 
 from repro.errors import HardwareError
 from repro.hw.clock import Clock
@@ -47,6 +48,26 @@ _MACHINE_IDS = MachineIdAllocator()
 def reset_machine_ids() -> None:
     """Restart default machine numbering (test fixtures call this)."""
     _MACHINE_IDS.reset()
+
+
+@contextmanager
+def isolated_machine_ids() -> Iterator[MachineIdAllocator]:
+    """Number machines from a fresh allocator inside the with-block, then
+    restore the previous one.
+
+    Parallel-episode workers and fleet-shard builders construct whole
+    stacks (machine + peer + guests) whose names and NIC addresses must be
+    a pure function of the episode/machine parameters — never of how many
+    machines the hosting process happened to build before.  Scoping the
+    default allocator (instead of resetting it) keeps the caller's
+    numbering intact."""
+    global _MACHINE_IDS
+    saved = _MACHINE_IDS
+    _MACHINE_IDS = MachineIdAllocator()
+    try:
+        yield _MACHINE_IDS
+    finally:
+        _MACHINE_IDS = saved
 
 
 class Machine:

@@ -91,6 +91,31 @@ class MetricsSnapshot:
             if v - other.retry_histogram.get(k, 0)}
         return out
 
+    @classmethod
+    def merge(cls, snapshots) -> "MetricsSnapshot":
+        """Combine snapshots of *disjoint* machine sets into one fleet-wide
+        reading: every counter adds, the retry histogram merges key-wise,
+        and ``cycles`` — each machine has its own clock in a sharded fleet
+        — reports the furthest clock (max).  Associative and commutative,
+        so merging per-shard merges equals merging all per-machine
+        snapshots directly, however the fleet was partitioned."""
+        out = cls()
+        for snap in snapshots:
+            for name in _FIELD_NAMES:
+                if name == "cycles":
+                    continue
+                setattr(out, name, getattr(out, name) + getattr(snap, name))
+            if snap.cycles > out.cycles:
+                out.cycles = snap.cycles
+            for key, value in snap.retry_histogram.items():
+                out.retry_histogram[key] = (
+                    out.retry_histogram.get(key, 0) + value)
+        return out
+
+    def merged_with(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Two-snapshot convenience form of :meth:`merge`."""
+        return MetricsSnapshot.merge((self, other))
+
     @property
     def tlb_hit_rate(self) -> float:
         total = self.tlb_hits + self.tlb_misses

@@ -16,14 +16,28 @@ traces and metrics.
 Sequential entry points stay sequential: :func:`run_to_completion` drives a
 workload generator without a scheduler installed, which is cycle-identical
 to the pre-generator code path.
+
+Scaling out, the same contract survives process boundaries: the sharded
+fleet (:mod:`repro.sim.shard` / :mod:`repro.sim.pool`) partitions machines
+across workers under conservative time-window barriers, and
+``workers=k`` is byte-identical to ``workers=1``.
 """
 
-from repro.sim.task import Join, SimState, SimTask, Sleep, WaitFor, Yield
+from repro.sim.task import (Join, SimState, SimTask, Sleep, SleepUntil,
+                            WaitFor, Yield)
 from repro.sim.scheduler import (SimDeadlock, SimError, SimScheduler, active,
                                  preempt_point, run_to_completion)
+from repro.sim.shard import (FleetMessage, FleetNode, Shard, ShardError,
+                             ShardReport, sort_batch)
+from repro.sim.pool import (DEFAULT_WINDOW_CYCLES, FleetResult, ShardedSim,
+                            parallel_episodes)
 
 __all__ = [
-    "Join", "SimState", "SimTask", "Sleep", "WaitFor", "Yield",
+    "Join", "SimState", "SimTask", "Sleep", "SleepUntil", "WaitFor", "Yield",
     "SimDeadlock", "SimError", "SimScheduler", "active", "preempt_point",
     "run_to_completion",
+    "FleetMessage", "FleetNode", "Shard", "ShardError", "ShardReport",
+    "sort_batch",
+    "DEFAULT_WINDOW_CYCLES", "FleetResult", "ShardedSim",
+    "parallel_episodes",
 ]

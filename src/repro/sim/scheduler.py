@@ -35,7 +35,8 @@ import heapq
 from typing import TYPE_CHECKING, Generator, Optional
 
 from repro import trace
-from repro.sim.task import (Join, SimState, SimTask, Sleep, WaitFor, Yield)
+from repro.sim.task import (Join, SimState, SimTask, Sleep, SleepUntil,
+                            WaitFor, Yield)
 
 if TYPE_CHECKING:
     from repro.guestos.kernel import Kernel
@@ -87,6 +88,9 @@ def run_to_completion(gen: Generator, clock=None):
             if isinstance(point, Sleep):
                 if clock is not None:
                     clock.advance(point.cycles)
+            elif isinstance(point, SleepUntil):
+                if clock is not None and point.cycle > clock.cycles:
+                    clock.cycles = point.cycle
             elif isinstance(point, WaitFor):
                 if not point.predicate():
                     raise SimError(
@@ -179,16 +183,66 @@ class SimScheduler:
         """Run until every task is finished.  Raises the first task
         exception, :class:`SimDeadlock` on a wedged system, or
         :class:`SimError` past ``max_steps``."""
+        self._install()
+        try:
+            self._loop(None)
+        finally:
+            self._uninstall()
+
+    def run_window(self, horizon: int) -> bool:
+        """Advance every runnable work item keyed at or before ``horizon``.
+
+        The windowed entry point for the sharded simulation: tasks and
+        timer events whose ``(cycle, seq)`` key lies inside the window run
+        exactly as :meth:`run` would run them; work keyed beyond the
+        horizon stays queued for a later window.  Blocked tasks are *not* a
+        deadlock here — a cross-shard message delivered at a later barrier
+        may unblock them, so the fleet loop owns deadlock detection.
+        Returns True once every task has finished."""
+        self._install()
+        try:
+            self._loop(int(horizon))
+        finally:
+            self._uninstall()
+        return self.finished
+
+    def _install(self) -> None:
         global _ACTIVE
         if _ACTIVE is not None:
             raise SimError("a SimScheduler is already installed")
         _ACTIVE = self
-        try:
-            self._loop()
-        finally:
-            _ACTIVE = None
 
-    def _loop(self) -> None:
+    def _uninstall(self) -> None:
+        global _ACTIVE
+        _ACTIVE = None
+
+    @property
+    def finished(self) -> bool:
+        """True when every spawned task reached a terminal state."""
+        return all(t.finished for t in self.tasks)
+
+    def next_work_cycle(self) -> Optional[int]:
+        """Earliest cycle at which this scheduler has runnable work (ready
+        task or pending timer event), or None when only blocked tasks — or
+        nothing at all — remain.  A blocked task whose predicate already
+        holds is admitted (and counted) here, so the fleet barrier never
+        mistakes it for a deadlock."""
+        self._admit_unblocked()
+        while self._ready and self._ready[0][2].state is not SimState.READY:
+            heapq.heappop(self._ready)  # stale entries
+        candidates = []
+        if self._ready:
+            candidates.append(self._ready[0][0])
+        event = self.clock.peek()
+        if event is not None:
+            candidates.append(event.deadline)
+        return min(candidates) if candidates else None
+
+    def blocked_names(self) -> tuple:
+        """Names of currently blocked tasks (fleet deadlock reporting)."""
+        return tuple(t.name for t in self._blocked if not t.finished)
+
+    def _loop(self, horizon: Optional[int]) -> None:
         while True:
             self.steps += 1
             if self.steps > self.max_steps:
@@ -200,22 +254,30 @@ class SimScheduler:
 
             if head is None:
                 if event is not None:
+                    if horizon is not None and event.deadline > horizon:
+                        return  # beyond this window
                     self._service_clock()
                     continue
                 if not self._blocked:
                     return  # all tasks finished
-                # one last interrupt window before declaring deadlock —
+                # one last interrupt window before giving up —
                 # a pending vector may unblock someone
                 if self.pump(self.machine.boot_cpu):
                     continue
+                if horizon is not None:
+                    return  # a later barrier exchange may unblock them
                 names = ", ".join(t.name for t in self._blocked)
                 raise SimDeadlock(
                     f"all runnable work exhausted; blocked: {names}")
 
             when, seq, task = head
             if event is not None and (event.deadline, event.seq) < (when, seq):
+                if horizon is not None and event.deadline > horizon:
+                    return
                 self._service_clock()
                 continue
+            if horizon is not None and when > horizon:
+                return
             heapq.heappop(self._ready)
             if task.state is not SimState.READY:
                 continue  # stale heap entry
@@ -271,6 +333,11 @@ class SimScheduler:
             self._make_ready(task, at_cycle=self.clock.cycles + point.cycles)
             trace.instant(task.cpu.cpu_id, "sim.task-sleep", task=task.name,
                           cycles=point.cycles)
+        elif isinstance(point, SleepUntil):
+            self._make_ready(task,
+                             at_cycle=max(self.clock.cycles, point.cycle))
+            trace.instant(task.cpu.cpu_id, "sim.task-sleep", task=task.name,
+                          until_cycle=point.cycle)
         elif isinstance(point, Join):
             target = point.task
             self._block(task, WaitFor(lambda: target.finished,
@@ -280,7 +347,7 @@ class SimScheduler:
         else:
             raise SimError(
                 f"task {task.name!r} yielded {point!r}; expected None, "
-                f"Yield, Sleep, WaitFor, or Join")
+                f"Yield, Sleep, SleepUntil, WaitFor, or Join")
 
     def _block(self, task: SimTask, wait: WaitFor) -> None:
         # a predicate that already holds skips the blocked list entirely

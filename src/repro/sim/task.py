@@ -8,6 +8,9 @@ fire due timer events before resuming it.  What is yielded says why:
 - ``yield`` / ``yield Yield()`` — cooperative yield; resume at the current
   cycle, after anything already queued for this instant (FIFO).
 - ``yield Sleep(cycles)`` — resume once simulated time has advanced.
+- ``yield SleepUntil(cycle)`` — resume at an absolute cycle deadline
+  (drift-free cadences: fleet heartbeats tick on a fixed grid no matter
+  how long the previous slice ran).
 - ``yield WaitFor(predicate)`` — block until ``predicate()`` holds.
 - ``yield Join(task)`` — block until another task finishes.
 
@@ -44,6 +47,18 @@ class Sleep:
         if cycles < 0:
             raise ValueError(f"cannot sleep {cycles} cycles")
         self.cycles = int(cycles)
+
+
+class SleepUntil:
+    """Resume once the clock reaches an absolute cycle deadline.  A deadline
+    at or before the current cycle resumes immediately (FIFO)."""
+
+    __slots__ = ("cycle",)
+
+    def __init__(self, cycle: int):
+        if cycle < 0:
+            raise ValueError(f"cannot sleep until cycle {cycle}")
+        self.cycle = int(cycle)
 
 
 class WaitFor:

@@ -1,0 +1,113 @@
+"""``MetricsSnapshot.merge``: the fleet aggregation the sharded
+simulation depends on.
+
+The contract: merging k disjoint per-machine snapshots — however they
+were grouped into shards first — equals merging all of them directly,
+histogram fields included.  ``cycles`` is the one non-additive field
+(every machine has its own clock; the fleet reports the furthest one)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics import _FIELD_NAMES, MetricsCollector, MetricsSnapshot
+
+#: counters exercised explicitly because the sharded benches gate on them
+KEY_FIELDS = ("switch_retries", "pending_retries", "watchdog_scans",
+              "watchdog_detections", "recoveries", "recovery_failures",
+              "mode_switches", "faults_injected")
+
+
+def _snapshot(values: dict, histogram: dict) -> MetricsSnapshot:
+    snap = MetricsSnapshot()
+    for name, value in values.items():
+        setattr(snap, name, value)
+    snap.retry_histogram = dict(histogram)
+    return snap
+
+
+snapshots = st.builds(
+    _snapshot,
+    st.dictionaries(st.sampled_from(list(_FIELD_NAMES)),
+                    st.integers(min_value=0, max_value=10**9)),
+    st.dictionaries(st.integers(min_value=0, max_value=16),
+                    st.integers(min_value=1, max_value=10**6),
+                    max_size=6))
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(snapshots, min_size=1, max_size=8),
+       st.data())
+def test_merge_is_partition_invariant(snaps, data):
+    """Grouping into shards then merging the shard merges equals merging
+    every per-machine snapshot at once — for any partition."""
+    direct = MetricsSnapshot.merge(snaps)
+    k = data.draw(st.integers(min_value=1, max_value=len(snaps)))
+    groups = [[] for _ in range(k)]
+    for i, snap in enumerate(snaps):
+        groups[data.draw(st.integers(min_value=0, max_value=k - 1))
+               ].append(snap)
+    partitioned = MetricsSnapshot.merge(
+        MetricsSnapshot.merge(g) for g in groups if g)
+    assert partitioned == direct
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(snapshots, min_size=1, max_size=6))
+def test_merge_sums_counters_and_maxes_cycles(snaps):
+    merged = MetricsSnapshot.merge(snaps)
+    for name in _FIELD_NAMES:
+        expect = (max(getattr(s, name) for s in snaps) if name == "cycles"
+                  else sum(getattr(s, name) for s in snaps))
+        assert getattr(merged, name) == expect, name
+    keys = {k for s in snaps for k in s.retry_histogram}
+    assert merged.retry_histogram == {
+        k: sum(s.retry_histogram.get(k, 0) for s in snaps) for k in keys}
+
+
+@settings(max_examples=20, deadline=None)
+@given(snapshots)
+def test_merge_identity(snap):
+    assert MetricsSnapshot.merge([snap]) == snap
+    assert snap.merged_with(MetricsSnapshot()) == snap
+
+
+def test_merge_key_fields_explicitly():
+    """The retry histogram and watchdog counters (the fields the chaos /
+    sharding gates read) add key-wise."""
+    a = MetricsSnapshot(cycles=100)
+    b = MetricsSnapshot(cycles=300)
+    for i, name in enumerate(KEY_FIELDS, start=1):
+        setattr(a, name, i)
+        setattr(b, name, 10 * i)
+    a.retry_histogram = {0: 5, 1: 2}
+    b.retry_histogram = {1: 3, 4: 7}
+    merged = a.merged_with(b)
+    assert merged.cycles == 300
+    for i, name in enumerate(KEY_FIELDS, start=1):
+        assert getattr(merged, name) == 11 * i
+    assert merged.retry_histogram == {0: 5, 1: 5, 4: 7}
+    # inputs untouched
+    assert a.retry_histogram == {0: 5, 1: 2}
+
+
+def test_merge_of_real_disjoint_runs_equals_combined_counters():
+    """Two real machines, real workloads: the merged snapshot carries
+    exactly the sum of what each collector measured."""
+    from repro import Machine, Mercury, small_config
+
+    snaps = []
+    for rounds in (1, 2):
+        mercury = Mercury(Machine(small_config()))
+        kernel = mercury.create_kernel(image_pages=8)
+        cpu = mercury.machine.boot_cpu
+        for _ in range(rounds):
+            kernel.syscall(cpu, "fork")
+            mercury.attach()
+            mercury.detach()
+        snaps.append(MetricsCollector(mercury.machine, kernel=kernel,
+                                      mercury=mercury).snapshot())
+    merged = MetricsSnapshot.merge(snaps)
+    assert merged.mode_switches == sum(s.mode_switches for s in snaps) == 6
+    assert merged.syscalls == sum(s.syscalls for s in snaps)
+    assert merged.cycles == max(s.cycles for s in snaps)

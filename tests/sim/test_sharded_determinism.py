@@ -1,0 +1,151 @@
+"""The tentpole property: ``sharded(seed, workers=k) == single(seed)``.
+
+Hypothesis drives randomized fleets (size, seed, traffic shape) through
+the inline transport at k ∈ {1, 2, 4} and requires byte-identical
+canonical output, traces, and merged metrics.  Separate deterministic
+tests cover the process transport (real spawned workers) against the
+serial run, using the module-level fleet builder from
+:mod:`repro.bench.underload` so spawn children can import it.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hw.machine import Machine
+from repro.params import MachineConfig
+from repro.sim import FleetNode, ShardedSim, Sleep, SleepUntil
+
+WINDOW = 200_000
+
+
+class TrafficNode(FleetNode):
+    """Seeded random-but-deterministic workload: every node computes,
+    sleeps, and posts to pseudo-random peers at pseudo-random latencies
+    >= the window — all drawn from ``Random(f"{seed}:{index}")``, so the
+    node is a pure function of its parameters."""
+
+    def __init__(self, index, seed, fleet_size=2, rounds=2, **kwargs):
+        super().__init__(index, Machine(MachineConfig(num_cpus=1,
+                                                      mem_kb=1024)))
+        self.fleet_size = fleet_size
+        self.payloads = []
+        rng = random.Random(f"traffic:{seed}:{index}")
+        self.spawn_traced(self._task(rng, rounds), name=f"traffic{index}")
+
+    def _task(self, rng, rounds):
+        for r in range(rounds):
+            yield Sleep(rng.randrange(1_000, 3 * WINDOW))
+            dst = rng.randrange(self.fleet_size)
+            if dst != self.index:
+                self.post(dst, "data", payload=(self.index, r),
+                          latency_cycles=WINDOW + rng.randrange(WINDOW))
+            if rng.random() < 0.5:
+                grid = (self.machine.clock.cycles // WINDOW + 2) * WINDOW
+                yield SleepUntil(grid + rng.randrange(500))
+
+    def on_message(self, msg):
+        super().on_message(msg)
+        self.payloads.append(msg.payload)
+
+    def result(self):
+        out = super().result()
+        out["payloads"] = self.payloads
+        return out
+
+
+def _build_traffic(index, seed, **kwargs):
+    return TrafficNode(index, seed, **kwargs)
+
+
+def _run(machines, seed, rounds, workers):
+    sim = ShardedSim(_build_traffic, machines, seed=seed, workers=workers,
+                     transport="inline", window_cycles=WINDOW,
+                     builder_kwargs={"fleet_size": machines,
+                                     "rounds": rounds})
+    return sim.run()
+
+
+@settings(max_examples=10, deadline=None)
+@given(machines=st.integers(min_value=1, max_value=5),
+       seed=st.integers(min_value=0, max_value=2**31),
+       rounds=st.integers(min_value=1, max_value=3))
+def test_sharded_equals_single_property(machines, seed, rounds):
+    """For every fleet shape: k-sharded output ≡ serial output, byte for
+    byte — canonical output, merged trace, and merged metrics."""
+    base = _run(machines, seed, rounds, workers=1)
+    base_bytes = base.canonical_output()
+    for k in (2, 4):
+        sharded = _run(machines, seed, rounds, workers=k)
+        assert sharded.canonical_output() == base_bytes
+        assert sharded.canonical == base.canonical
+        assert sharded.metrics == base.metrics
+        assert sharded.windows == base.windows
+        assert sharded.messages == base.messages
+
+
+def test_every_posted_payload_arrives_exactly_once():
+    res = _run(4, seed=99, rounds=3, workers=2)
+    sent = sum(r["messages_sent"] for r in res.node_results.values())
+    got = sum(len(r["payloads"]) for r in res.node_results.values())
+    assert sent == got == res.messages
+
+
+# ---------------------------------------------------------------------------
+# the process transport: real spawned workers vs. the serial fallback
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_process_transport_matches_serial(workers):
+    from repro.bench.underload import run_fleet_under_load
+
+    serial = run_fleet_under_load(machines=4, workers=1, rounds=1,
+                                  files=2, iperf_bytes=64 * 1024, beats=2)
+    procs = run_fleet_under_load(machines=4, workers=workers, rounds=1,
+                                 files=2, iperf_bytes=64 * 1024, beats=2,
+                                 transport="process")
+    assert procs.canonical_output() == serial.canonical_output()
+    assert procs.metrics == serial.metrics
+
+
+def test_fleet_heartbeat_ring_closes():
+    from repro.bench.underload import run_fleet_under_load
+
+    res = run_fleet_under_load(machines=3, workers=1, rounds=1, files=2,
+                               iperf_bytes=64 * 1024, beats=2)
+    for row in res.node_results.values():
+        assert row["heartbeats_seen"] == 2
+        assert row["records"] == 2          # one attach + one detach
+        assert row["aborts"] == 0
+        assert row["kbuild_elapsed_us"] > 0
+        assert row["iperf_mbit_s"] > 0
+
+
+def test_chaos_campaign_worker_invariance():
+    from repro.bench.chaoscampaign import run_chaos_campaign
+
+    serial = run_chaos_campaign(episodes=4, seed=31)
+    fanned = run_chaos_campaign(episodes=4, seed=31, workers=2)
+    assert fanned.canonical_output() == serial.canonical_output()
+
+
+def test_fault_sweep_worker_invariance():
+    from repro.bench.faultsweep import run_fault_sweep
+
+    serial = run_fault_sweep(rates=(0.0, 0.25), rounds=6, seed=5)
+    fanned = run_fault_sweep(rates=(0.0, 0.25), rounds=6, seed=5,
+                             workers=2)
+    assert fanned == serial
+
+
+def test_crash_matrix_worker_invariance():
+    from repro.bench.crashmatrix import (canonical_matrix_output,
+                                         run_crash_matrix)
+
+    serial = run_crash_matrix(workers=1)
+    fanned = run_crash_matrix(workers=2)
+    assert canonical_matrix_output(fanned) == canonical_matrix_output(serial)
+    assert all(c.ok for c in serial if not c.skipped)
