@@ -18,13 +18,22 @@ Targets:
   episodes with VMI-watchdog detection and microreboot recovery; emits
   canonical output (the CI ``chaos-recovery`` job runs it twice);
   ``--workers N`` fans episodes across processes without changing a byte
+- ``fleet``               — the §6 scenarios as fleet operations: an
+  open-loop arrival stream over ``--machines N`` service machines behind
+  a switch-aware balancer while a rolling wave (``--scenario
+  liveupdate|maintenance|cluster``) runs; emits canonical output that is
+  byte-identical at any ``--workers`` count (the CI ``fleet-smoke`` job
+  diffs exactly that); ``--fleet-summary`` prints the percentile report
+  instead
 - ``all``                 — everything, in paper order
 
 Options: ``--quick`` (N-L and X-0 columns only), ``--mem-kb N``,
 ``--cpus N`` (trace target), ``--trace-json FILE``, ``--rounds N``
 (simload storm rounds), ``--machines N`` / ``--workers N`` (sharded
-simload fleet; workers also parallelizes chaos), ``--episodes N`` /
-``--seed N`` (chaos campaign).
+simload/fleet size and parallelism; workers also parallelizes chaos),
+``--episodes N`` / ``--seed N`` (chaos campaign; seed also feeds fleet),
+``--scenario``, ``--policy``, ``--arrival``, ``--requests N``,
+``--fleet-summary`` (fleet target).
 """
 
 from __future__ import annotations
@@ -42,7 +51,7 @@ from repro.bench.runner import (relative_to_native, run_app_suite,
 from repro.core.switch import Direction
 
 TARGETS = ("table1", "table2", "fig3", "fig4", "switch", "trace",
-           "simload", "chaos", "all")
+           "simload", "chaos", "fleet", "all")
 
 
 def _measure_switch(config) -> tuple[float, float]:
@@ -121,6 +130,25 @@ def _chaos(episodes: int, seed: int, workers: int) -> None:
     sys.stdout.write(result.canonical_output())
 
 
+def _fleet(args) -> None:
+    """Run a §6 fleet operation; print the canonical (byte-diffable)
+    output, or the human percentile report with ``--fleet-summary``."""
+    import json
+
+    from repro.fleet import run_fleet
+
+    # --machines defaults to 1 for simload; a fleet needs real machines
+    machines = args.machines if args.machines > 1 else 100
+    result = run_fleet(machines=machines, workers=args.workers,
+                       seed=args.seed, scenario=args.scenario,
+                       policy=args.policy, arrival=args.arrival,
+                       requests=args.requests)
+    if args.fleet_summary:
+        print(json.dumps(result.summary(), indent=1, sort_keys=True))
+        return
+    sys.stdout.write(result.canonical_output())
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -148,8 +176,26 @@ def main(argv: list[str] | None = None) -> int:
                         help="fault episodes for the chaos target "
                              "(default 20)")
     parser.add_argument("--seed", type=int, default=1234,
-                        help="campaign RNG seed for the chaos target "
+                        help="RNG seed for the chaos and fleet targets "
                              "(default 1234)")
+    parser.add_argument("--scenario", choices=("liveupdate", "maintenance",
+                                               "cluster"),
+                        default="liveupdate",
+                        help="fleet wave scenario (default liveupdate)")
+    parser.add_argument("--policy", choices=("round-robin",
+                                             "least-outstanding",
+                                             "switch-aware"),
+                        default="switch-aware",
+                        help="fleet balancer policy (default switch-aware)")
+    parser.add_argument("--arrival", choices=("poisson", "pareto"),
+                        default="poisson",
+                        help="fleet arrival process (default poisson)")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="fleet request count (default scales with "
+                             "--machines)")
+    parser.add_argument("--fleet-summary", action="store_true",
+                        help="print the fleet percentile report instead of "
+                             "canonical output")
     args = parser.parse_args(argv)
 
     keys = ("N-L", "X-0") if args.quick else CONFIG_KEYS
@@ -193,6 +239,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.target == "chaos":  # canonical output: not part of "all"
         _chaos(episodes=args.episodes, seed=args.seed,
                workers=args.workers)
+    if args.target == "fleet":  # canonical output: not part of "all"
+        _fleet(args)
     return 0
 
 

@@ -1,0 +1,42 @@
+"""Fleet-scale open-loop traffic over the sharded deterministic sim.
+
+The paper evaluates Mercury one machine at a time; a datacenter runs it
+as a *fleet operation*: a front-of-fleet balancer keeps routing an
+open-loop arrival stream while a wave of machines drains, switches
+modes, and rejoins.  This package provides the three pieces —
+
+- :mod:`repro.fleet.traffic` — seeded Poisson / bounded-Pareto open-loop
+  arrival and service-demand schedules,
+- :mod:`repro.fleet.balancer` — round-robin / least-outstanding /
+  switch-aware routing with drain, spare, and failure states,
+- :mod:`repro.fleet.latency` — streaming log-bucketed latency histogram
+  with p50/p95/p99/p999 readout, mergeable across shard snapshots,
+
+and runs the paper's §6 scenarios over them via
+:class:`~repro.fleet.orchestrator.FleetOrchestrator`
+(:mod:`repro.fleet.node` holds the frontend/service machine logic).
+Everything rides the conservative-window determinism contract of
+:mod:`repro.sim.pool`: ``workers=k`` fleet output is byte-identical to
+``workers=1``.
+"""
+
+from repro.fleet.balancer import (LoadBalancer, MachineState,
+                                  NoRoutableMachine, POLICIES)
+from repro.fleet.latency import (LatencyHistogram, PERCENTILES, SIG_BITS,
+                                 bucket_of)
+from repro.fleet.node import PHASES, FrontendNode, ServiceNode
+from repro.fleet.orchestrator import (SCENARIOS, FleetOpResult,
+                                      FleetOrchestrator, build_fleet_node,
+                                      degradation_ratio,
+                                      fleet_latency_histogram, run_fleet)
+from repro.fleet.traffic import (ARRIVALS, OpenLoopTraffic, TrafficSpec,
+                                 arrival_stats)
+
+__all__ = [
+    "LoadBalancer", "MachineState", "NoRoutableMachine", "POLICIES",
+    "LatencyHistogram", "PERCENTILES", "SIG_BITS", "bucket_of",
+    "PHASES", "FrontendNode", "ServiceNode",
+    "SCENARIOS", "FleetOpResult", "FleetOrchestrator", "build_fleet_node",
+    "degradation_ratio", "fleet_latency_histogram", "run_fleet",
+    "ARRIVALS", "OpenLoopTraffic", "TrafficSpec", "arrival_stats",
+]

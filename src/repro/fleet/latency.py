@@ -1,0 +1,125 @@
+"""Streaming request-latency histogram with percentile readout.
+
+The fleet layer logs one latency sample per completed request.  Keeping
+every sample would make 100-machine runs carry megabytes of state across
+process boundaries, so samples stream into a log-bucketed histogram:
+values are rounded down to :data:`SIG_BITS` significant bits, bounding
+the relative error of any percentile readout at ``2**-(SIG_BITS-1)``
+(< 1.6%) while the bucket table stays a few dozen integer keys.
+
+Everything is integer arithmetic on cycle counts — no floats touch the
+bucket keys — so a histogram is a pure function of the recorded samples
+and two histograms merge by key-wise addition.  That makes the bucket
+dict safe to carry through :meth:`repro.metrics.MetricsSnapshot.merge`:
+merging per-shard snapshots of disjoint machines is associative,
+commutative, and partition-invariant (property-tested in
+``tests/integration/test_metrics_merge.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+#: significant bits kept per sample; a sample sits at most one bucket
+#: width (2**-(SIG_BITS-1) of its magnitude, < 1.6%) above its bucket
+SIG_BITS = 7
+
+#: the percentiles the fleet benches report, as (label, fraction)
+PERCENTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99),
+               ("p999", 0.999))
+
+
+def bucket_of(value: int) -> int:
+    """Round ``value`` down to :data:`SIG_BITS` significant bits.
+
+    The result is the bucket's representative (its lower bound), so
+    percentile readouts are conservative-low by at most 1.6%."""
+    v = int(value)
+    if v <= 0:
+        return 0
+    shift = v.bit_length() - SIG_BITS
+    if shift <= 0:
+        return v
+    return (v >> shift) << shift
+
+
+@dataclass
+class LatencyHistogram:
+    """Log-bucketed counts plus exact count/total for local reporting."""
+
+    buckets: Dict[int, int] = field(default_factory=dict)
+    count: int = 0
+    #: exact sum of recorded samples (cycle-exact mean when unmerged)
+    total: int = 0
+
+    def record(self, value: int) -> None:
+        key = bucket_of(value)
+        self.buckets[key] = self.buckets.get(key, 0) + 1
+        self.count += 1
+        self.total += int(value)
+
+    @classmethod
+    def from_counts(cls, buckets: Dict[int, int]) -> "LatencyHistogram":
+        """Rebuild from a bucket table (e.g. a merged snapshot's
+        ``latency_histogram``).  ``total`` is then the bucket-floor
+        approximation, consistent with the percentile readouts."""
+        clean = {int(k): int(v) for k, v in buckets.items() if v}
+        return cls(buckets=clean,
+                   count=sum(clean.values()),
+                   total=sum(k * v for k, v in clean.items()))
+
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        out = LatencyHistogram(buckets=dict(self.buckets),
+                               count=self.count + other.count,
+                               total=self.total + other.total)
+        for key, n in other.buckets.items():
+            out.buckets[key] = out.buckets.get(key, 0) + n
+        return out
+
+    @classmethod
+    def merge_all(cls, hists: Iterable["LatencyHistogram"]
+                  ) -> "LatencyHistogram":
+        out = cls()
+        for hist in hists:
+            out = out.merge(hist)
+        return out
+
+    # -- readout ---------------------------------------------------------
+
+    def percentile(self, q: float) -> Optional[int]:
+        """Smallest bucket value covering fraction ``q`` of the samples
+        (None on an empty histogram)."""
+        if not self.count:
+            return None
+        rank = max(1, math.ceil(q * self.count))
+        seen = 0
+        for key in sorted(self.buckets):
+            seen += self.buckets[key]
+            if seen >= rank:
+                return key
+        return max(self.buckets)  # pragma: no cover - rank <= count
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def max_bucket(self) -> int:
+        return max(self.buckets) if self.buckets else 0
+
+    def summary(self, freq_mhz: int = 0) -> dict:
+        """JSON-able percentile table in cycles (and µs when ``freq_mhz``
+        is given).  Deterministic: integer buckets, rounded floats only in
+        the µs convenience columns."""
+        out: dict = {"count": self.count}
+        for label, q in PERCENTILES:
+            out[f"{label}_cycles"] = self.percentile(q)
+        out["max_cycles"] = self.max_bucket if self.count else None
+        if freq_mhz:
+            for label, _ in PERCENTILES:
+                cyc = out[f"{label}_cycles"]
+                out[f"{label}_us"] = (None if cyc is None
+                                      else round(cyc / freq_mhz, 3))
+        return out

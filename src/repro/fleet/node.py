@@ -1,0 +1,593 @@
+"""Fleet nodes: the service machines and the front-of-fleet frontend.
+
+One :class:`FrontendNode` (machine index 0) generates the open-loop
+arrival stream, routes every request through a
+:class:`~repro.fleet.balancer.LoadBalancer`, runs the scenario's *wave*
+(rolling live update, predictive maintenance, or cluster availability),
+and folds each completed request's latency into per-phase streaming
+histograms.  ``machines`` :class:`ServiceNode`\\ s (indices 1..N) each own
+a full Machine + Mercury + kernel stack and serve requests under the
+deterministic simulation scheduler.
+
+Requests, responses, and every control exchange are cross-machine
+:class:`~repro.sim.shard.FleetMessage`\\ s, so the conservative-window
+determinism contract of :mod:`repro.sim.pool` applies unchanged: a
+``workers=k`` fleet run is byte-identical to ``workers=1``.
+
+Message vocabulary::
+
+    req            frontend -> server   (req_id, service_cycles)
+    rsp            server  -> frontend  req_id
+    ctl.update     frontend -> server   wave ordinal (rolling live update)
+    ctl.updated    server  -> frontend  (index, attach_us, detach_us)
+    ctl.maintain   frontend -> server   (spare, pages, maintenance_cycles)
+    ctl.maintained server  -> frontend  index
+    ctl.evacuate   frontend -> server   (spare, pages)
+    ctl.evacuated  server  -> frontend  index
+    chaos.inject   frontend -> server   (site, variant)
+    chaos.recovered server -> frontend  (index, site, detected, mttr)
+    mig.state      server  -> spare     (src, pages)   migration stream
+    mig.ack        spare   -> server    src
+    mig.back-req   server  -> spare     src
+    mig.back       spare   -> server    (src, pages)
+    ctl.shutdown   frontend -> server   —
+
+The per-machine mechanics reuse the single-machine §6 scenario modules:
+the rolling update applies a real :class:`~repro.scenarios.liveupdate.
+KernelPatch` through :class:`~repro.scenarios.liveupdate.LiveUpdater`;
+maintenance and evacuation charge the live-migration stream costs of
+:mod:`repro.scenarios.migration`; chaos rides
+:func:`repro.faults.inject_vmm_fault`, the VMI
+:class:`~repro.watchdog.Watchdog`, and the ReHype-style
+:class:`~repro.core.recovery.RecoveryManager`.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Generator, Optional
+
+from repro import faults
+from repro.core.mercury import Mercury, Mode
+from repro.core.recovery import RecoveryManager
+from repro.fleet.balancer import LoadBalancer, MachineState, NoRoutableMachine
+from repro.fleet.latency import LatencyHistogram
+from repro.fleet.traffic import OpenLoopTraffic, TrafficSpec
+from repro.hw.machine import Machine
+from repro.metrics import MetricsCollector
+from repro.params import MachineConfig
+from repro.scenarios.liveupdate import KernelPatch, LiveUpdater
+from repro.scenarios.cluster import HardwareMonitor
+from repro.scenarios.migration import CYC_SEND_PER_PAGE, WIRE_NS_PER_PAGE
+from repro.sim import FleetNode, Sleep, SleepUntil, WaitFor, Yield
+from repro.watchdog import Watchdog
+
+#: the measurement phases the percentile report distinguishes
+PHASES = ("steady", "wave", "after")
+
+#: partial-virtual service tax: an attached VMM costs ~10% on the request
+#: path (the paper's fig. 3 band for syscall-heavy work)
+VIRT_TAX_SHIFT = 3  # svc += svc >> 3 would be 12.5%; we use //10 below
+
+#: chaos detection scan cadence inside a service node (1 ms at 3 GHz)
+CHAOS_SCAN_INTERVAL = 3_000_000
+CHAOS_MAX_SCANS = 12
+
+#: VMM fault sites injectable on a bare attached stack (the remaining
+#: catalogue sites need hosted-guest state — channels, grants, backends —
+#: that a drained fleet machine does not carry; the chaos *campaign*
+#: covers those, see :mod:`repro.bench.chaoscampaign`)
+CHAOS_SITES = (faults.VMM_PAGEINFO_CORRUPT, faults.VMM_REFCOUNT_BALLOON,
+               faults.VMM_TRAP_VECTOR_DROPPED)
+
+
+def _patched_getpid(kernel, cpu, task):
+    """The rolling update's payload: the classic pid-offset live patch."""
+    return task.pid + 1000
+
+
+class ServiceNode(FleetNode):
+    """One fleet machine: Mercury stack + request server + control ops."""
+
+    def __init__(self, index: int, seed: int, *,
+                 mem_kb: int = 4096, image_pages: int = 16,
+                 trace_capacity: int = 4096, **_ignored):
+        machine = Machine(MachineConfig(num_cpus=1, mem_kb=mem_kb))
+        super().__init__(index, machine, trace_capacity=trace_capacity)
+        self.mercury = Mercury(machine)
+        self.kernel = self.mercury.create_kernel(
+            name=f"fleet{index}-linux", image_pages=image_pages)
+        self.mercury.engine.max_retries = 64
+        self.updater = LiveUpdater(self.mercury)
+        self.monitor = HardwareMonitor()
+
+        self._queue: deque = deque()
+        self._ctl: deque = deque()
+        self.done = False
+        self.retired = False
+        self.served = 0
+        self.updates_applied = 0
+        self.maintenances = 0
+        self.evacuated = False
+        self.chaos_recoveries = 0
+        self._mig_ack = False
+        self._mig_back = False
+        self._hosted_pages: dict = {}
+
+        self.spawn_traced(self._server_task(), name=f"serve{index}",
+                          cpu=machine.boot_cpu, kernel=self.kernel)
+        self.spawn_traced(self._control_task(), name=f"ctl{index}",
+                          cpu=machine.boot_cpu)
+
+    # -- messaging --------------------------------------------------------
+
+    def on_message(self, msg) -> None:
+        super().on_message(msg)
+        kind = msg.kind
+        if kind == "req":
+            self._queue.append(msg.payload)
+        elif kind == "ctl.shutdown":
+            self.done = True
+        elif kind == "mig.ack":
+            self._mig_ack = True
+        elif kind == "mig.back":
+            self._mig_back = True
+        elif kind in ("ctl.update", "ctl.maintain", "ctl.evacuate",
+                      "chaos.inject", "mig.state", "mig.back-req"):
+            self._ctl.append((kind, msg.src, msg.payload))
+
+    # -- the request server -----------------------------------------------
+
+    def _server_task(self) -> Generator:
+        cpu = self.machine.boot_cpu
+        while True:
+            yield WaitFor(lambda: self._queue or self.done or self.retired,
+                          desc="requests")
+            if self._queue:
+                req_id, svc = self._queue.popleft()
+                if self.mercury.mode is not Mode.NATIVE:
+                    svc += svc // 10  # partial-virtual service tax
+                self.kernel.user_compute_cycles(cpu, svc)
+                self.served += 1
+                self.post(0, "rsp", payload=req_id)
+                yield Yield()  # control ops interleave between requests
+                continue
+            return
+
+    # -- control ops ------------------------------------------------------
+
+    def _control_task(self) -> Generator:
+        while True:
+            yield WaitFor(lambda: self._ctl or self.done, desc="control")
+            if self._ctl:
+                kind, src, payload = self._ctl.popleft()
+                yield from self._run_op(kind, src, payload)
+                continue
+            return
+
+    def _run_op(self, kind: str, src: int, payload) -> Generator:
+        if kind == "ctl.update":
+            yield from self._op_update(payload)
+        elif kind == "ctl.maintain":
+            yield from self._op_maintain(*payload)
+        elif kind == "ctl.evacuate":
+            yield from self._op_evacuate(*payload)
+        elif kind == "chaos.inject":
+            yield from self._op_chaos(*payload)
+        elif kind == "mig.state":
+            yield from self._op_host_state(*payload)
+        elif kind == "mig.back-req":
+            yield from self._op_return_state(payload)
+
+    def _charge_stream(self, pages: int) -> None:
+        """One direction of a live-migration page stream (§6.3/§6.5
+        costs, per :mod:`repro.scenarios.migration`)."""
+        cpu = self.machine.boot_cpu
+        cpu.charge(pages * CYC_SEND_PER_PAGE)
+        cpu.charge(pages * int(cpu.cost.cycles_from_ns(WIRE_NS_PER_PAGE)))
+
+    def _op_update(self, ordinal: int) -> Generator:
+        """Rolling live kernel update (§6.4): transiently attach, patch,
+        detach — the machine was drained, so both switches commit on the
+        quiescent fast path."""
+        rec = self.updater.apply(KernelPatch(
+            f"rolling-{ordinal}", "getpid", _patched_getpid))
+        self.updates_applied += 1
+        self.post(0, "ctl.updated",
+                  payload=(self.index, round(rec.attach_us, 3),
+                           round(rec.detach_us, 3)))
+        return
+        yield  # pragma: no cover - generator marker
+
+    def _op_maintain(self, spare: int, pages: int,
+                     maintenance_cycles: int) -> Generator:
+        """Predictive hardware maintenance (§6.3): full-virtualize,
+        migrate the execution environment to ``spare``, service the
+        hardware, migrate back, return to native."""
+        self.mercury.full_virtualize()
+        self._charge_stream(pages)
+        self._mig_ack = False
+        self.post(spare, "mig.state", payload=(self.index, pages))
+        yield WaitFor(lambda: self._mig_ack, desc="mig.ack")
+        self.machine.boot_cpu.charge(maintenance_cycles)
+        self.monitor.temperature_c = 45.0  # serviced: prediction clears
+        self._mig_back = False
+        self.post(spare, "mig.back-req", payload=self.index)
+        yield WaitFor(lambda: self._mig_back, desc="mig.back")
+        self._charge_stream(pages)
+        self.mercury.departial()
+        self.mercury.detach()
+        self.maintenances += 1
+        self.post(0, "ctl.maintained", payload=self.index)
+
+    def _op_evacuate(self, spare: int, pages: int) -> Generator:
+        """Failure-predicted evacuation (§6.5): one-way migration to the
+        promoted spare; this machine then takes the predicted failure."""
+        self.mercury.full_virtualize()
+        self._charge_stream(pages)
+        self._mig_ack = False
+        self.post(spare, "mig.state", payload=(self.index, pages))
+        yield WaitFor(lambda: self._mig_ack, desc="mig.ack")
+        self.evacuated = True
+        self.retired = True
+        self.post(0, "ctl.evacuated", payload=self.index)
+        self.done = True
+
+    def _op_host_state(self, src: int, pages: int) -> Generator:
+        """Spare side of a migration stream: go partial-virtual to host
+        the inbound execution environment, absorb the pages, ack."""
+        if self.mercury.mode is Mode.NATIVE:
+            self.mercury.attach()
+        self._charge_stream(pages)
+        self._hosted_pages[src] = pages
+        self.post(src, "mig.ack", payload=src)
+        return
+        yield  # pragma: no cover - generator marker
+
+    def _op_return_state(self, src: int) -> Generator:
+        """Spare side of the §6.3 return trip."""
+        pages = self._hosted_pages.pop(src, 0)
+        self._charge_stream(pages)
+        self.post(src, "mig.back", payload=(src, pages))
+        if not self._hosted_pages and \
+                self.mercury.mode is Mode.PARTIAL_VIRTUAL:
+            self.mercury.detach()  # nobody hosted: back to full speed
+        return
+        yield  # pragma: no cover - generator marker
+
+    def _op_chaos(self, site: str, variant: int) -> Generator:
+        """Chaos fault under load: attach, corrupt one VMM structure,
+        let the VMI watchdog detect it, microreboot, return to native —
+        while the server task keeps serving between scans."""
+        clock = self.machine.clock
+        if self.mercury.mode is Mode.NATIVE:
+            self.mercury.attach()
+        watchdog = Watchdog(self.mercury, suspect_scans=2)
+        manager = RecoveryManager(self.mercury, watchdog)
+        faults.inject_vmm_fault(site, self.mercury, variant=variant)
+        self.faults_injected += 1
+        injected_at = clock.cycles
+        verdict = None
+        detected_at = -1
+        for _ in range(CHAOS_MAX_SCANS):
+            yield Sleep(CHAOS_SCAN_INTERVAL)
+            verdict = watchdog.scan(self.machine.boot_cpu)
+            if verdict is not None:
+                detected_at = clock.cycles
+                break
+        detected = verdict is not None
+        mttr = -1
+        if detected:
+            record = manager.recover(verdict, cpu=self.machine.boot_cpu)
+            mttr = clock.cycles - detected_at
+            self.chaos_recoveries += int(bool(record and record.success))
+        if self.mercury.mode is not Mode.NATIVE:
+            self.mercury.detach()
+        self.post(0, "chaos.recovered",
+                  payload=(self.index, site, detected, mttr,
+                           clock.cycles - injected_at))
+
+    # -- reporting --------------------------------------------------------
+
+    def collector(self) -> MetricsCollector:
+        return MetricsCollector(self.machine, kernel=self.kernel,
+                                mercury=self.mercury)
+
+    def result(self) -> dict:
+        out = super().result()
+        out.update({
+            "served": self.served,
+            "queued_residual": len(self._queue),
+            "updates_applied": self.updates_applied,
+            "maintenances": self.maintenances,
+            "evacuated": self.evacuated,
+            "chaos_recoveries": self.chaos_recoveries,
+            "mode": self.mercury.mode.value,
+            "mode_switches": len(self.mercury.switch_records),
+        })
+        return out
+
+
+class FrontendNode(FleetNode):
+    """Front of fleet: traffic source, balancer, wave orchestration, and
+    the per-request latency log."""
+
+    def __init__(self, index: int, seed: int, *,
+                 machines: int, scenario: str = "liveupdate",
+                 policy: str = "switch-aware",
+                 arrival: str = "poisson",
+                 requests: int = 400,
+                 mean_gap_cycles: int = 45_000,
+                 mean_service_cycles: int = 300_000,
+                 wave_after_completions: Optional[int] = None,
+                 spares: int = 0,
+                 evacuations: int = 0,
+                 chaos_events: int = 0,
+                 maintain_count: int = 0,
+                 state_pages: int = 64,
+                 maintenance_cycles: int = 3_000_000,
+                 log_requests: bool = False,
+                 trace_capacity: int = 65536,
+                 **_ignored):
+        machine = Machine(MachineConfig(num_cpus=1, mem_kb=1024))
+        super().__init__(index, machine, trace_capacity=trace_capacity)
+        if machines < 2:
+            raise ValueError("a fleet needs at least two service machines")
+        self.scenario = scenario
+        self.num_machines = machines
+        server_indices = range(1, machines + 1)
+        spare_indices = list(range(machines - spares + 1, machines + 1))
+        self.balancer = LoadBalancer(server_indices, policy=policy,
+                                     spares=spare_indices)
+        self.traffic = OpenLoopTraffic(
+            TrafficSpec(kind=arrival, mean_gap_cycles=mean_gap_cycles,
+                        mean_service_cycles=mean_service_cycles), seed)
+        self.requests = requests
+        self.wave_after = (requests // 4 if wave_after_completions is None
+                           else wave_after_completions)
+        self.state_pages = state_pages
+        self.maintenance_cycles = maintenance_cycles
+        self.log_requests = log_requests
+        self._rng = random.Random(f"fleet-ops:{seed}")
+
+        self.phase = "steady"
+        self.hist = {phase: LatencyHistogram() for phase in PHASES}
+        self._open: dict = {}          # req_id -> (target, t0, phase)
+        self.dispatched = 0
+        self.completed = 0
+        self.forced_dispatches = 0
+        self.request_log: list = []    # (req_id, target, cycle, phase)
+        self.drain_log: list = []      # per-machine wave intervals
+        self.traffic_done = False
+        self.wave_done = False
+        self.wave_start_cycle = -1
+        self.wave_end_cycle = -1
+        self._updated: dict = {}       # index -> (attach_us, detach_us)
+        self._maintained: set = set()
+        self._evacuated: set = set()
+        self.chaos_log: list = []
+        self.update_records: list = []
+
+        # scenario-specific wave plan, drawn up-front from the seeded rng
+        serving = [i for i in server_indices
+                   if i not in set(spare_indices)]
+        self._spare_pool = list(spare_indices)
+        if scenario == "cluster":
+            self._victims = self._rng.sample(
+                serving, min(evacuations, len(self._spare_pool),
+                             len(serving) - 1))
+            chaos_pool = [i for i in serving if i not in self._victims]
+            self._chaos_plan = [
+                (self._rng.randrange(0, 40_000_000),
+                 victim,
+                 self._rng.choice(CHAOS_SITES),
+                 self._rng.randrange(0, 2))
+                for victim in self._rng.sample(
+                    chaos_pool, min(chaos_events, len(chaos_pool)))]
+        else:
+            self._victims = []
+            self._chaos_plan = []
+        if scenario == "maintenance":
+            self._flagged = sorted(self._rng.sample(
+                serving, min(maintain_count, len(serving) - 1)))
+            for i in self._flagged:
+                # the §6.5 sensor bank predicts these machines' failures
+                monitor = HardwareMonitor(temperature_c=95.0)
+                assert monitor.predicts_failure()
+        else:
+            self._flagged = []
+
+        self.spawn_traced(self._traffic_task(), name="traffic",
+                          cpu=machine.boot_cpu)
+        self.spawn_traced(self._wave_task(), name="wave",
+                          cpu=machine.boot_cpu)
+        self.spawn_traced(self._shutdown_task(), name="shutdown",
+                          cpu=machine.boot_cpu)
+
+    # -- messaging --------------------------------------------------------
+
+    def on_message(self, msg) -> None:
+        super().on_message(msg)
+        kind = msg.kind
+        if kind == "rsp":
+            req_id = msg.payload
+            target, t0, phase = self._open.pop(req_id)
+            self.hist[phase].record(self.machine.clock.cycles - t0)
+            self.balancer.completed(target)
+            self.completed += 1
+        elif kind == "ctl.updated":
+            index, attach_us, detach_us = msg.payload
+            self._updated[index] = (attach_us, detach_us)
+            self.update_records.append(msg.payload)
+        elif kind == "ctl.maintained":
+            self._maintained.add(msg.payload)
+        elif kind == "ctl.evacuated":
+            self._evacuated.add(msg.payload)
+        elif kind == "chaos.recovered":
+            self.chaos_log.append(msg.payload)
+
+    # -- traffic ----------------------------------------------------------
+
+    def _traffic_task(self) -> Generator:
+        start = self.min_latency  # first arrival after one window
+        for req_id, (at, svc) in enumerate(
+                self.traffic.schedule(self.requests, start_cycle=start)):
+            yield SleepUntil(at)
+            try:
+                target = self.balancer.pick()
+            except NoRoutableMachine:
+                # degenerate fleets only (everything switching at once):
+                # fall back to the least-loaded non-down machine so the
+                # request is never dropped — conservation above latency
+                self.forced_dispatches += 1
+                candidates = [i for i, st in self.balancer.state.items()
+                              if st not in (MachineState.DOWN,
+                                            MachineState.SPARE)]
+                target = min(candidates,
+                             key=lambda i: (self.balancer.outstanding[i], i))
+            now = self.machine.clock.cycles
+            self.balancer.dispatched(target)
+            self._open[req_id] = (target, now, self.phase)
+            self.request_log.append((req_id, target, now, self.phase))
+            self.dispatched += 1
+            self.post(target, "req", payload=(req_id, svc))
+        self.traffic_done = True
+
+    # -- the wave ---------------------------------------------------------
+
+    def _wave_task(self) -> Generator:
+        yield WaitFor(lambda: self.completed >= self.wave_after,
+                      desc="steady-state measured")
+        self.phase = "wave"
+        self.wave_start_cycle = self.machine.clock.cycles
+        if self.scenario == "liveupdate":
+            yield from self._rolling_update()
+        elif self.scenario == "maintenance":
+            yield from self._maintenance_wave()
+        elif self.scenario == "cluster":
+            yield from self._cluster_wave()
+        else:
+            raise ValueError(f"unknown scenario {self.scenario!r}")
+        self.phase = "after"
+        self.wave_end_cycle = self.machine.clock.cycles
+        self.wave_done = True
+
+    def _drain(self, index: int) -> Generator:
+        """Announce the switch, then wait for in-flight requests to
+        bleed off before the machine may leave service."""
+        entry = {"machine": index,
+                 "drain_at": self.machine.clock.cycles,
+                 "switch_at": -1, "ready_at": -1}
+        self.drain_log.append(entry)
+        self.balancer.mark_draining(index)
+        yield WaitFor(lambda: self.balancer.drained(index),
+                      desc=f"drain m{index}")
+        self.balancer.mark_switching(index)
+        entry["switch_at"] = self.machine.clock.cycles
+        return entry
+
+    def _rolling_update(self) -> Generator:
+        """§6.4 as a fleet operation: one machine at a time leaves
+        rotation, applies the kernel patch under a transient VMM, and
+        rejoins."""
+        for ordinal, index in enumerate(self.balancer.serving_machines()):
+            entry = yield from self._drain(index)
+            self.post(index, "ctl.update", payload=ordinal)
+            yield WaitFor(lambda i=index: i in self._updated,
+                          desc=f"update m{index}")
+            self.balancer.mark_ready(index)
+            entry["ready_at"] = self.machine.clock.cycles
+
+    def _maintenance_wave(self) -> Generator:
+        """§6.3 as a fleet operation: every failure-predicted machine
+        migrates its execution environment to a healthy peer, is
+        serviced, and takes it back."""
+        for index in self._flagged:
+            entry = yield from self._drain(index)
+            peers = [i for i in self.balancer.serving_machines()
+                     if i != index
+                     and self.balancer.state[i] is MachineState.READY]
+            spare = min(peers,
+                        key=lambda i: (self.balancer.outstanding[i], i))
+            self.post(index, "ctl.maintain",
+                      payload=(spare, self.state_pages,
+                               self.maintenance_cycles))
+            yield WaitFor(lambda i=index: i in self._maintained,
+                          desc=f"maintain m{index}")
+            self.balancer.mark_ready(index)
+            entry["ready_at"] = self.machine.clock.cycles
+
+    def _cluster_wave(self) -> Generator:
+        """§6.5 as a fleet operation: predicted failures evacuate to
+        promoted spares while chaos faults strike (and are recovered on)
+        other machines mid-wave."""
+        events = [("chaos", offset, victim, site, variant)
+                  for offset, victim, site, variant in self._chaos_plan]
+        events += [("evacuate", 8_000_000 * (n + 1), victim, "", 0)
+                   for n, victim in enumerate(self._victims)]
+        events.sort(key=lambda e: (e[1], e[0], e[2]))
+        for kind, offset, victim, site, variant in events:
+            yield SleepUntil(self.wave_start_cycle + offset)
+            if kind == "chaos":
+                self.post(victim, "chaos.inject", payload=(site, variant))
+                continue
+            entry = yield from self._drain(victim)
+            spare = self._spare_pool.pop(0)
+            self.post(victim, "ctl.evacuate",
+                      payload=(spare, self.state_pages))
+            yield WaitFor(lambda i=victim: i in self._evacuated,
+                          desc=f"evacuate m{victim}")
+            # the predicted failure arrives on the evacuated machine;
+            # the promoted spare takes its place in rotation
+            self.balancer.mark_down(victim)
+            self.balancer.mark_ready(spare)
+            entry["ready_at"] = self.machine.clock.cycles
+        yield WaitFor(lambda: len(self.chaos_log) >= len(self._chaos_plan),
+                      desc="chaos recovered")
+
+    # -- shutdown ---------------------------------------------------------
+
+    def _shutdown_task(self) -> Generator:
+        yield WaitFor(lambda: (self.traffic_done and self.wave_done
+                               and not self._open),
+                      desc="quiescent fleet")
+        for index in sorted(self.balancer.state):
+            if self.balancer.state[index] is not MachineState.DOWN:
+                self.post(index, "ctl.shutdown")
+
+    # -- reporting --------------------------------------------------------
+
+    def snapshot(self):
+        snap = super().snapshot()
+        snap.latency_histogram = dict(
+            LatencyHistogram.merge_all(self.hist.values()).buckets)
+        return snap
+
+    def percentiles(self) -> dict:
+        freq = self.machine.clock.freq_mhz
+        return {phase: self.hist[phase].summary(freq_mhz=freq)
+                for phase in PHASES}
+
+    def result(self) -> dict:
+        out = super().result()
+        out.update({
+            "scenario": self.scenario,
+            "policy": self.balancer.policy,
+            "requests": self.requests,
+            "dispatched": self.dispatched,
+            "completed": self.completed,
+            "in_flight_residual": len(self._open),
+            "forced_dispatches": self.forced_dispatches,
+            "wave_start_cycle": self.wave_start_cycle,
+            "wave_end_cycle": self.wave_end_cycle,
+            "updated_machines": sorted(self._updated),
+            "maintained_machines": sorted(self._maintained),
+            "evacuated_machines": sorted(self._evacuated),
+            "chaos_log": sorted(self.chaos_log),
+            "drain_log": self.drain_log,
+            "percentiles": self.percentiles(),
+        })
+        if self.log_requests:
+            out["request_log"] = self.request_log
+        return out

@@ -1,0 +1,131 @@
+"""Open-loop traffic generation for the fleet layer.
+
+Closed-loop workloads (kbuild, iperf, …) issue the next request only when
+the previous one finishes; they can never expose queueing collapse.  The
+fleet scenarios instead generate an *open-loop* arrival stream — requests
+land on the front-of-fleet balancer at instants drawn from a seeded
+renewal process, whether or not the fleet is keeping up — the standard
+stand-in for "millions of independent users".
+
+Two inter-arrival distributions:
+
+- **Poisson** (exponential gaps): the memoryless baseline, CV = 1.
+- **Bounded Pareto** (heavy-tailed gaps, tail index ``alpha``, support
+  ``[L, H]``): bursty arrivals whose CV > 1, the shape that actually
+  stresses tail latency.  Gaps are drawn by inverse-CDF and rescaled by
+  the distribution's analytic mean so both processes hit the same
+  configured rate.
+
+Determinism contract: every draw comes from ``random.Random(f"fleet-
+traffic:{seed}")`` — no wall clock, no OS entropy — so the arrival
+schedule is a pure function of ``(kind, mean_gap_cycles, seed, n)``,
+reproducible across processes and Python versions (``random`` is a
+versioned PRNG).  Service demands draw from an independent stream keyed
+``fleet-service:{seed}`` so changing the request count never perturbs
+service draws (and vice versa).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+ARRIVALS = ("poisson", "pareto")
+
+#: bounded-Pareto defaults: tail index < 2 (infinite-variance family) and
+#: three decades of support — heavy enough that the gap CV clears 2
+DEFAULT_ALPHA = 1.5
+DEFAULT_SPREAD = 1000.0
+
+
+def _bounded_pareto(u: float, alpha: float, low: float, high: float) -> float:
+    """Inverse CDF of the bounded Pareto on [low, high]."""
+    la, ha = low ** alpha, high ** alpha
+    return (-(u * ha - u * la - ha) / (ha * la)) ** (-1.0 / alpha)
+
+
+def _bounded_pareto_mean(alpha: float, low: float, high: float) -> float:
+    """Analytic mean of the bounded Pareto (alpha != 1)."""
+    la, ha = low ** alpha, high ** alpha
+    return (la / (1.0 - (low / high) ** alpha)
+            * (alpha / (alpha - 1.0))
+            * (low ** (1.0 - alpha) - high ** (1.0 - alpha)))
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """Shape of one open-loop stream, in cycles."""
+
+    kind: str = "poisson"
+    mean_gap_cycles: int = 45_000          # ~15 µs at 3 GHz
+    mean_service_cycles: int = 300_000     # ~100 µs at 3 GHz
+    alpha: float = DEFAULT_ALPHA
+    spread: float = DEFAULT_SPREAD
+
+    def __post_init__(self):
+        if self.kind not in ARRIVALS:
+            raise ValueError(f"unknown arrival process {self.kind!r}; "
+                             f"expected one of {ARRIVALS}")
+        if self.mean_gap_cycles < 1 or self.mean_service_cycles < 1:
+            raise ValueError("mean gap and service must be >= 1 cycle")
+
+
+class OpenLoopTraffic:
+    """Deterministic arrival + service-demand schedule for one fleet run."""
+
+    def __init__(self, spec: TrafficSpec, seed: int):
+        self.spec = spec
+        self.seed = seed
+        self._arrival_rng = random.Random(f"fleet-traffic:{seed}")
+        self._service_rng = random.Random(f"fleet-service:{seed}")
+
+    # -- inter-arrival gaps ----------------------------------------------
+
+    def _gap(self) -> int:
+        spec = self.spec
+        u = self._arrival_rng.random()
+        if spec.kind == "poisson":
+            raw = -math.log(1.0 - u)  # Exp(1)
+            scale = float(spec.mean_gap_cycles)
+        else:
+            low = 1.0
+            high = spec.spread
+            raw = _bounded_pareto(u, spec.alpha, low, high)
+            scale = (spec.mean_gap_cycles
+                     / _bounded_pareto_mean(spec.alpha, low, high))
+        return max(1, int(raw * scale))
+
+    def gaps(self, n: int) -> List[int]:
+        return [self._gap() for _ in range(n)]
+
+    def _service(self) -> int:
+        # exponential service demand: enough dispersion that queues form
+        # without another heavy tail on the server side
+        u = self._service_rng.random()
+        return max(1, int(-math.log(1.0 - u)
+                          * self.spec.mean_service_cycles))
+
+    # -- the schedule -----------------------------------------------------
+
+    def schedule(self, n: int, start_cycle: int = 0
+                 ) -> List[Tuple[int, int]]:
+        """``n`` requests as ``(arrival_cycle, service_cycles)`` pairs,
+        arrival cycles strictly increasing from ``start_cycle``."""
+        at = int(start_cycle)
+        out: List[Tuple[int, int]] = []
+        for _ in range(n):
+            at += self._gap()
+            out.append((at, self._service()))
+        return out
+
+
+def arrival_stats(gaps: List[int]) -> Tuple[float, float]:
+    """(mean, coefficient of variation) of a gap sample — what the
+    distribution-correctness properties bound."""
+    if not gaps:
+        return 0.0, 0.0
+    mean = sum(gaps) / len(gaps)
+    var = sum((g - mean) ** 2 for g in gaps) / len(gaps)
+    return mean, (math.sqrt(var) / mean if mean else 0.0)

@@ -80,21 +80,25 @@ class MetricsSnapshot:
     trace_dropped: int = 0
     #: committed-switch retry distribution: retries-consumed -> #switches
     retry_histogram: dict = field(default_factory=dict)
+    #: fleet request-latency distribution: log-bucketed cycles -> #requests
+    #: (see :mod:`repro.fleet.latency`; empty outside fleet scenarios)
+    latency_histogram: dict = field(default_factory=dict)
 
     def __sub__(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
         out = MetricsSnapshot()
         for name in _FIELD_NAMES:
             setattr(out, name, getattr(self, name) - getattr(other, name))
-        out.retry_histogram = {
-            k: v - other.retry_histogram.get(k, 0)
-            for k, v in self.retry_histogram.items()
-            if v - other.retry_histogram.get(k, 0)}
+        for name in _DICT_FIELDS:
+            mine, theirs = getattr(self, name), getattr(other, name)
+            setattr(out, name, {
+                k: v - theirs.get(k, 0)
+                for k, v in mine.items() if v - theirs.get(k, 0)})
         return out
 
     @classmethod
     def merge(cls, snapshots) -> "MetricsSnapshot":
         """Combine snapshots of *disjoint* machine sets into one fleet-wide
-        reading: every counter adds, the retry histogram merges key-wise,
+        reading: every counter adds, the histogram fields merge key-wise,
         and ``cycles`` — each machine has its own clock in a sharded fleet
         — reports the furthest clock (max).  Associative and commutative,
         so merging per-shard merges equals merging all per-machine
@@ -107,9 +111,10 @@ class MetricsSnapshot:
                 setattr(out, name, getattr(out, name) + getattr(snap, name))
             if snap.cycles > out.cycles:
                 out.cycles = snap.cycles
-            for key, value in snap.retry_histogram.items():
-                out.retry_histogram[key] = (
-                    out.retry_histogram.get(key, 0) + value)
+            for name in _DICT_FIELDS:
+                acc = getattr(out, name)
+                for key, value in getattr(snap, name).items():
+                    acc[key] = acc.get(key, 0) + value
         return out
 
     def merged_with(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
@@ -146,11 +151,14 @@ class MetricsSnapshot:
         return self.cycles / 3000.0
 
 
+#: histogram-valued fields: merged/diffed key-wise, not as scalars
+_DICT_FIELDS = ("retry_histogram", "latency_histogram")
+
 #: diffing a snapshot per-benchmark-iteration is hot; resolve the dataclass
-#: introspection once instead of per __sub__ call (the histogram dict is
+#: introspection once instead of per __sub__ call (the histogram dicts are
 #: diffed key-wise, not subtracted)
 _FIELD_NAMES = tuple(f.name for f in fields(MetricsSnapshot)
-                     if f.name != "retry_histogram")
+                     if f.name not in _DICT_FIELDS)
 
 
 class MetricsCollector:

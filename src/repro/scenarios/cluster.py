@@ -32,6 +32,10 @@ if TYPE_CHECKING:
     from repro.scenarios.checkpoint import CheckpointImage
 
 
+class _PredictionCleared(Exception):
+    """Internal: sensors recovered mid-pre-copy; abandon the migration."""
+
+
 class NodeState(enum.Enum):
     HEALTHY = "healthy"
     WARNED = "warned"       # monitors predict a failure
@@ -118,30 +122,64 @@ class HpcCluster:
         self.evacuations = 0
 
     def healthy_standby(self, exclude: ClusterNode) -> ClusterNode:
-        for node in self.nodes:
-            if node is not exclude and node.state == NodeState.HEALTHY:
-                return node
-        raise ScenarioError("no healthy standby node available")
+        """Pick the evacuation target: a healthy peer whose own sensors
+        are quiet, preferring one not already accommodating an evacuee —
+        so simultaneous predictions spread across distinct standbys
+        instead of piling onto the first (they share one only when
+        nothing else is left), and an evacuee is never parked on a
+        machine that is itself about to fail."""
+        candidates = [n for n in self.nodes
+                      if n is not exclude and n.state == NodeState.HEALTHY
+                      and not n.monitor.predicts_failure()]
+        if not candidates:
+            raise ScenarioError("no healthy standby node available")
+        return min(candidates,
+                   key=lambda n: (len(n.mercury.guests),
+                                  self.nodes.index(n)))
 
     # ------------------------------------------------------------------
     # the self-virtualization policy
     # ------------------------------------------------------------------
 
-    def handle_warning(self, node: ClusterNode) -> ClusterNode:
+    def handle_warning(self, node: ClusterNode, mutator=None,
+                       cancel_on_recovery: bool = False) -> ClusterNode:
         """Monitors predicted a failure on ``node``: evacuate its OS to a
-        healthy peer, per §6.5.  Returns the standby now hosting it."""
+        healthy peer, per §6.5.  Returns the standby now hosting it.
+
+        ``mutator(round_no)`` models the job running (and dirtying pages)
+        during each pre-copy round.  With ``cancel_on_recovery``, the
+        sensors are re-read between rounds; if the prediction has cleared
+        (a transient thermal event, say) the migration is abandoned
+        before stop-and-copy — pre-copy only streams page *copies*, so
+        nothing needs undoing — and the node rolls back to native,
+        returning ``node`` itself."""
         if not node.monitor.predicts_failure():
             raise ScenarioError(f"{node.name} has no failure prediction")
         node.state = NodeState.WARNED
         standby = self.healthy_standby(node)
+        standby_was_native = standby.mercury.mode is Mode.NATIVE
 
         # the threatened OS goes full-virtual; the standby partial-virtual
         node.mercury.full_virtualize()
-        if standby.mercury.mode is Mode.NATIVE:
+        if standby_was_native:
             standby.mercury.attach()
 
+        def _round(round_no: int) -> None:
+            if mutator is not None:
+                mutator(round_no)
+            if cancel_on_recovery and not node.monitor.predicts_failure():
+                raise _PredictionCleared
+
         migration = LiveMigration(node.mercury, standby.mercury)
-        hosted, report = migration.run()
+        try:
+            hosted, report = migration.run(_round)
+        except _PredictionCleared:
+            node.mercury.departial()
+            node.mercury.detach()
+            if standby_was_native and not standby.mercury.guests:
+                standby.mercury.detach()
+            node.state = NodeState.HEALTHY
+            return node
         standby.job_progress = node.job_progress
         node.job_progress = None
         node.state = NodeState.EVACUATED

@@ -1,0 +1,103 @@
+"""Streaming latency histogram: bucket error bound, percentile readout,
+and merge algebra (the partition-invariance half lives in
+``tests/integration/test_metrics_merge.py``)."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.fleet import LatencyHistogram, SIG_BITS, bucket_of
+
+samples = st.lists(st.integers(min_value=0, max_value=2**40),
+                   min_size=0, max_size=300)
+
+
+# -- bucketing -------------------------------------------------------------
+
+@settings(max_examples=100, deadline=None)
+@given(v=st.integers(min_value=0, max_value=2**62))
+def test_bucket_error_bound(v):
+    b = bucket_of(v)
+    assert 0 <= b <= v
+    assert (v - b) <= v * 2.0**-(SIG_BITS - 1)  # relative error < 1.6%
+    assert bucket_of(b) == b              # idempotent (bucket reps are fixed)
+
+
+def test_small_values_exact():
+    for v in range(0, 2**SIG_BITS):
+        assert bucket_of(v) == v
+
+
+# -- recording and readout -------------------------------------------------
+
+@settings(max_examples=30, deadline=None)
+@given(vals=samples)
+def test_percentiles_within_bucket_error_of_exact(vals):
+    hist = LatencyHistogram()
+    for v in vals:
+        hist.record(v)
+    assert hist.count == len(vals)
+    assert hist.total == sum(vals)
+    if not vals:
+        assert hist.percentile(0.99) is None
+        return
+    ordered = sorted(vals)
+    for q in (0.5, 0.95, 0.99, 0.999):
+        exact = ordered[max(1, math.ceil(q * len(vals))) - 1]
+        got = hist.percentile(q)
+        # the readout is the exact order statistic's bucket floor
+        assert got == bucket_of(exact)
+
+
+def test_summary_shape():
+    hist = LatencyHistogram()
+    for v in (100, 200, 300_000):
+        hist.record(v)
+    s = hist.summary(freq_mhz=3000)
+    assert s["count"] == 3
+    assert s["p50_cycles"] == bucket_of(200)
+    assert s["p999_cycles"] == bucket_of(300_000)
+    assert s["p50_us"] == round(bucket_of(200) / 3000, 3)
+    assert set(s) >= {"p50_cycles", "p95_cycles", "p99_cycles",
+                      "p999_cycles", "max_cycles"}
+
+
+# -- merge algebra ---------------------------------------------------------
+
+@settings(max_examples=30, deadline=None)
+@given(a=samples, b=samples, c=samples)
+def test_merge_is_associative_and_commutative(a, b, c):
+    def h(vals):
+        out = LatencyHistogram()
+        for v in vals:
+            out.record(v)
+        return out
+
+    left = h(a).merge(h(b)).merge(h(c))
+    right = h(a).merge(h(b).merge(h(c)))
+    flipped = h(c).merge(h(a)).merge(h(b))
+    assert left == right == flipped
+    assert left == h(a + b + c)
+
+
+@settings(max_examples=30, deadline=None)
+@given(vals=samples)
+def test_from_counts_round_trip(vals):
+    hist = LatencyHistogram()
+    for v in vals:
+        hist.record(v)
+    rebuilt = LatencyHistogram.from_counts(hist.buckets)
+    assert rebuilt.buckets == hist.buckets
+    assert rebuilt.count == hist.count
+    # totals are bucket-floor approximations after a snapshot round trip
+    assert rebuilt.total <= hist.total
+    for q in (0.5, 0.99):
+        assert rebuilt.percentile(q) == hist.percentile(q)
+
+
+def test_merge_all_empty():
+    assert LatencyHistogram.merge_all([]) == LatencyHistogram()
+    assert LatencyHistogram().mean == 0.0
+    assert LatencyHistogram().max_bucket == 0

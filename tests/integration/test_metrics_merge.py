@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from hypothesis import given, settings, strategies as st
 
+from repro.fleet import LatencyHistogram
 from repro.metrics import _FIELD_NAMES, MetricsCollector, MetricsSnapshot
 
 #: counters exercised explicitly because the sharded benches gate on them
@@ -18,11 +19,16 @@ KEY_FIELDS = ("switch_retries", "pending_retries", "watchdog_scans",
               "mode_switches", "faults_injected")
 
 
-def _snapshot(values: dict, histogram: dict) -> MetricsSnapshot:
+def _snapshot(values: dict, histogram: dict,
+              latencies: list) -> MetricsSnapshot:
     snap = MetricsSnapshot()
     for name, value in values.items():
         setattr(snap, name, value)
     snap.retry_histogram = dict(histogram)
+    hist = LatencyHistogram()
+    for v in latencies:
+        hist.record(v)
+    snap.latency_histogram = hist.buckets
     return snap
 
 
@@ -32,7 +38,8 @@ snapshots = st.builds(
                     st.integers(min_value=0, max_value=10**9)),
     st.dictionaries(st.integers(min_value=0, max_value=16),
                     st.integers(min_value=1, max_value=10**6),
-                    max_size=6))
+                    max_size=6),
+    st.lists(st.integers(min_value=0, max_value=2**40), max_size=20))
 
 
 @settings(max_examples=60, deadline=None)
@@ -60,9 +67,11 @@ def test_merge_sums_counters_and_maxes_cycles(snaps):
         expect = (max(getattr(s, name) for s in snaps) if name == "cycles"
                   else sum(getattr(s, name) for s in snaps))
         assert getattr(merged, name) == expect, name
-    keys = {k for s in snaps for k in s.retry_histogram}
-    assert merged.retry_histogram == {
-        k: sum(s.retry_histogram.get(k, 0) for s in snaps) for k in keys}
+    for field in ("retry_histogram", "latency_histogram"):
+        keys = {k for s in snaps for k in getattr(s, field)}
+        assert getattr(merged, field) == {
+            k: sum(getattr(s, field).get(k, 0) for s in snaps)
+            for k in keys}, field
 
 
 @settings(max_examples=20, deadline=None)
@@ -89,6 +98,54 @@ def test_merge_key_fields_explicitly():
     assert merged.retry_histogram == {0: 5, 1: 5, 4: 7}
     # inputs untouched
     assert a.retry_histogram == {0: 5, 1: 2}
+
+
+latency_samples = st.lists(st.integers(min_value=0, max_value=2**40),
+                           max_size=50)
+
+
+def _latency_snap(vals) -> MetricsSnapshot:
+    hist = LatencyHistogram()
+    for v in vals:
+        hist.record(v)
+    snap = MetricsSnapshot()
+    snap.latency_histogram = hist.buckets
+    return snap
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=latency_samples, b=latency_samples, c=latency_samples)
+def test_latency_histogram_merge_is_associative(a, b, c):
+    """(a+b)+c == a+(b+c) through the snapshot merge path, and both equal
+    recording every sample into one histogram."""
+    sa, sb, sc = _latency_snap(a), _latency_snap(b), _latency_snap(c)
+    left = sa.merged_with(sb).merged_with(sc)
+    right = sa.merged_with(sb.merged_with(sc))
+    assert left.latency_histogram == right.latency_histogram
+    assert left.latency_histogram == _latency_snap(a + b + c
+                                                   ).latency_histogram
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(latency_samples, min_size=1, max_size=8), st.data())
+def test_latency_histogram_merge_is_partition_invariant(sample_sets, data):
+    """However per-machine latency logs are grouped into shards, the
+    fleet-wide histogram — and so every percentile readout — is the
+    same."""
+    snaps = [_latency_snap(vals) for vals in sample_sets]
+    direct = MetricsSnapshot.merge(snaps)
+    k = data.draw(st.integers(min_value=1, max_value=len(snaps)))
+    groups = [[] for _ in range(k)]
+    for snap in snaps:
+        groups[data.draw(st.integers(min_value=0, max_value=k - 1))
+               ].append(snap)
+    partitioned = MetricsSnapshot.merge(
+        MetricsSnapshot.merge(g) for g in groups if g)
+    assert partitioned.latency_histogram == direct.latency_histogram
+    direct_hist = LatencyHistogram.from_counts(direct.latency_histogram)
+    part_hist = LatencyHistogram.from_counts(partitioned.latency_histogram)
+    for q in (0.5, 0.95, 0.99, 0.999):
+        assert direct_hist.percentile(q) == part_hist.percentile(q)
 
 
 def test_merge_of_real_disjoint_runs_equals_combined_counters():
