@@ -24,7 +24,13 @@ Targets:
   liveupdate|maintenance|cluster``) runs; emits canonical output that is
   byte-identical at any ``--workers`` count (the CI ``fleet-smoke`` job
   diffs exactly that); ``--fleet-summary`` prints the percentile report
-  instead
+  instead; ``--guest-domains N`` hosts N ballooned guest domains per
+  service machine and serves the traffic from them under the elastic
+  memory controller (``--elastic-strategy``)
+- ``elastic``             — the memory-elasticity bench: attach-time
+  drift vs. balloon churn rate plus the reclaim-strategy ablation
+  (hypervisor-driven vs. guest-delegated); emits canonical output (the
+  CI ``memory-elasticity`` job double-runs and byte-diffs it)
 - ``all``                 — everything, in paper order
 
 Options: ``--quick`` (N-L and X-0 columns only), ``--mem-kb N``,
@@ -51,7 +57,7 @@ from repro.bench.runner import (relative_to_native, run_app_suite,
 from repro.core.switch import Direction
 
 TARGETS = ("table1", "table2", "fig3", "fig4", "switch", "trace",
-           "simload", "chaos", "fleet", "all")
+           "simload", "chaos", "fleet", "elastic", "all")
 
 
 def _measure_switch(config) -> tuple[float, float]:
@@ -142,11 +148,23 @@ def _fleet(args) -> None:
     result = run_fleet(machines=machines, workers=args.workers,
                        seed=args.seed, scenario=args.scenario,
                        policy=args.policy, arrival=args.arrival,
-                       requests=args.requests)
+                       requests=args.requests,
+                       guest_domains=args.guest_domains,
+                       guest_mem_pages=args.guest_mem_pages,
+                       guest_mem_floor=args.guest_mem_floor,
+                       elastic_strategy=args.elastic_strategy)
     if args.fleet_summary:
         print(json.dumps(result.summary(), indent=1, sort_keys=True))
         return
     sys.stdout.write(result.canonical_output())
+
+
+def _elastic() -> None:
+    """Run the memory-elasticity bench and print its canonical output
+    (byte-exact — the memory-elasticity CI job double-runs and diffs)."""
+    from repro.bench.elasticity import run_elasticity
+
+    sys.stdout.write(run_elasticity().canonical_output())
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -196,6 +214,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--fleet-summary", action="store_true",
                         help="print the fleet percentile report instead of "
                              "canonical output")
+    parser.add_argument("--guest-domains", type=int, default=0,
+                        help="ballooned guest domains hosted per fleet "
+                             "service machine (default 0: serve bare)")
+    parser.add_argument("--guest-mem-pages", type=int, default=48,
+                        help="per-guest balloon reservation (default 48)")
+    parser.add_argument("--guest-mem-floor", type=int, default=16,
+                        help="per-guest memory floor the elastic controller "
+                             "never reclaims below (default 16)")
+    parser.add_argument("--elastic-strategy",
+                        choices=("hypervisor-driven", "guest-delegated"),
+                        default="guest-delegated",
+                        help="fleet reclaim strategy (default "
+                             "guest-delegated)")
     args = parser.parse_args(argv)
 
     keys = ("N-L", "X-0") if args.quick else CONFIG_KEYS
@@ -241,6 +272,8 @@ def main(argv: list[str] | None = None) -> int:
                workers=args.workers)
     if args.target == "fleet":  # canonical output: not part of "all"
         _fleet(args)
+    if args.target == "elastic":  # canonical output: not part of "all"
+        _elastic()
     return 0
 
 

@@ -245,7 +245,11 @@ def run_episode(index: int, site: str, variant: int, trigger_cycles: int,
         kernel = mercury.create_kernel(image_pages=16)
         mercury.engine.max_retries = 64
         mercury.attach()
-        guest = mercury.host_guest(image_pages=8)
+        # the site catalogue includes the wedged balloon ring, so every
+        # episode hosts its guest mid-inflate (24 surplus pool pages the
+        # elastic controller could reclaim)
+        guest = mercury.host_guest(image_pages=8, mem_pages=48,
+                                   mem_floor=16)
     watchdog = Watchdog(mercury, suspect_scans=2)
     manager = RecoveryManager(mercury)
 

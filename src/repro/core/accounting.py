@@ -73,11 +73,23 @@ class MmuAccounting:
         self.roots_trusted = 0
         self.roots_revalidated = 0
         self.full_recomputes = 0
+        #: roots dirtied by balloon traffic specifically (the elasticity
+        #: bench reads this to attribute attach-time drift to churn)
+        self.balloon_marks = 0
 
     # -- native/virtual VO hooks (zero simulated cycles) -----------------
 
     def on_pt_write(self, aspace: "AddressSpace") -> None:
         self.dirty.add(aspace.pgd.frame)
+
+    def on_balloon(self, aspace: "AddressSpace") -> None:
+        """A balloon operation (inflate unmap / deflate repopulate) touched
+        this root.  The PTE work itself already rode :meth:`on_pt_write`
+        through the VO; this explicit mark keeps the recompute exact even
+        for balloon paths that bypass the VO hot path, and counts how much
+        of the dirty set balloon churn is responsible for."""
+        self.dirty.add(aspace.pgd.frame)
+        self.balloon_marks += 1
 
     def on_new_root(self, aspace: "AddressSpace") -> None:
         self.dirty.add(aspace.pgd.frame)

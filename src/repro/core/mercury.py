@@ -25,7 +25,8 @@ from repro.core.switch import Direction, ModeSwitchEngine, SwitchRecord
 from repro.core.virtual_vo import VirtualVO
 from repro.errors import ModeSwitchError
 from repro.guestos.kernel import Kernel
-from repro.guestos.splitio import connect_split_block, connect_split_net
+from repro.guestos.splitio import (connect_split_balloon, connect_split_block,
+                                   connect_split_net)
 
 if TYPE_CHECKING:
     from repro.hw.cpu import Cpu
@@ -93,9 +94,15 @@ class Mercury:
         self._guests: list[Kernel] = []
         #: split-driver backends serving hosted guests (watchdog scan set)
         self._backends: list = []
-        #: ``owner_id -> (guest_addr, num_vcpus)`` — enough to re-host a
-        #: guest after a VMM microreboot (the old Domain dies with the VMM)
-        self._guest_meta: dict[int, tuple[str, int]] = {}
+        #: ``owner_id -> (guest_addr, num_vcpus, has_balloon, mem_floor)`` —
+        #: enough to re-host a guest after a VMM microreboot (the old
+        #: Domain dies with the VMM; the *current* reservation is read back
+        #: from the owner column, so a ballooned guest re-hosts at its
+        #: resized footprint, not its original one)
+        self._guest_meta: dict[int, tuple[str, int, bool, int]] = {}
+        #: ``owner_id -> (BalloonFront, BalloonBack)`` for every connected
+        #: balloon (hosted guests and, for dom0 ballooning, the kernel)
+        self._balloons: dict = {}
         #: installed by repro.watchdog.Watchdog / core.recovery.RecoveryManager
         self.watchdog = None
         self.recovery = None
@@ -216,9 +223,18 @@ class Mercury:
 
     def host_guest(self, name: str = "domU", owner_id: Optional[int] = None,
                    image_pages: int = 96, num_vcpus: int = 1,
-                   guest_addr: Optional[str] = None) -> Kernel:
+                   guest_addr: Optional[str] = None,
+                   mem_pages: Optional[int] = None, mem_floor: int = 0,
+                   balloon: bool = False,
+                   balloon_pool: Optional[list] = None) -> Kernel:
         """Create and boot an unmodified Xen-Linux guest on top of the
-        self-virtualized OS (which serves as its driver domain)."""
+        self-virtualized OS (which serves as its driver domain).
+
+        ``mem_pages`` (or ``balloon=True``) makes the guest's reservation
+        elastic: a balloon pair is connected, the reservation is topped up
+        to ``mem_pages`` with cold pool frames, and the elastic controller
+        may reclaim it down to ``mem_floor``.  ``balloon_pool`` seeds the
+        frontend pool (the re-host path uses it)."""
         if self.mode is Mode.NATIVE:
             raise ModeSwitchError("host_guest requires an attached VMM")
         if owner_id is None:
@@ -233,15 +249,55 @@ class Mercury:
         _, blk_back = connect_split_block(guest, self.kernel, self.vmm)
         _, net_back = connect_split_net(guest, self.kernel, self.vmm, addr)
         self._backends.extend([blk_back, net_back])
-        self._guest_meta[owner_id] = (addr, num_vcpus)
+        has_balloon = balloon or mem_pages is not None
+        self._guest_meta[owner_id] = (addr, num_vcpus, has_balloon, mem_floor)
         guest.boot(image_pages=image_pages)
         self._guests.append(guest)
+        if has_balloon:
+            self._connect_balloon_for(guest, domain, mem_pages, mem_floor,
+                                      balloon_pool)
         return guest
+
+    def _connect_balloon_for(self, guest: Kernel, domain: "Domain",
+                             mem_pages: Optional[int], mem_floor: int,
+                             pool: Optional[list] = None) -> None:
+        """Wire a balloon pair for ``guest`` and establish its reservation
+        ledger from the frames it actually owns."""
+        mmu_log = self.mmu_log if guest is self.kernel else None
+        front, back = connect_split_balloon(guest, self.kernel, self.vmm,
+                                            mmu_log=mmu_log, pool=pool)
+        self._backends.append(back)
+        self._balloons[guest.owner_id] = (front, back)
+        domain.mem_floor = mem_floor
+        owned = len(self.machine.memory.frames_owned_by(guest.owner_id))
+        if mem_pages is not None and mem_pages > owned:
+            front.fill_pool(guest.boot_cpu, mem_pages - owned)
+            owned = mem_pages
+        domain.mem_pages = owned
+
+    def connect_balloon(self, mem_pages: Optional[int] = None,
+                        mem_floor: int = 0):
+        """Dom0 ballooning: make the self-virtualized OS's own reservation
+        elastic.  The kernel is its own driver domain, so front and back
+        both live in dom0 — exactly Xen's arrangement.  Returns the
+        ``(front, back)`` pair."""
+        if self.mode is Mode.NATIVE:
+            raise ModeSwitchError("connect_balloon requires an attached VMM")
+        domain = self.ensure_domain()
+        self._connect_balloon_for(self.kernel, domain, mem_pages, mem_floor)
+        return self._balloons[self.kernel.owner_id]
+
+    @property
+    def balloons(self) -> dict:
+        return dict(self._balloons)
 
     def shutdown_guest(self, guest: Kernel) -> None:
         if guest not in self._guests:
             raise ModeSwitchError("unknown guest")
         self._guests.remove(guest)
+        pair = self._balloons.pop(guest.owner_id, None)
+        if pair is not None and pair[1] in self._backends:
+            self._backends.remove(pair[1])
         domain = self.vmm.domains.get(guest.owner_id)
         if domain is not None:
             self.vmm.destroy_domain(domain)

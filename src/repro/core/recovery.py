@@ -206,6 +206,10 @@ class RecoveryManager:
         saved_guests = list(mercury._guests)
         mercury._guests.clear()
         mercury._backends = []
+        # balloon pairs die with the VMM too; each guest kernel still holds
+        # its frontend (pool + region bookkeeping), which is guest-owned
+        # state the re-host stage transplants into a fresh pair
+        mercury._balloons.clear()
 
         # guest-owned state only: re-privilege segments, point the
         # hardware back at the kernel's own IDT, reload every CPU
@@ -263,14 +267,15 @@ class RecoveryManager:
     # ------------------------------------------------------------------
 
     def _rehost_guests(self, cpu: "Cpu", guests: list) -> int:
-        from repro.guestos.splitio import (connect_split_block,
+        from repro.guestos.splitio import (connect_split_balloon,
+                                           connect_split_block,
                                            connect_split_net)
         mercury = self.mercury
         vmm = mercury.vmm
         for guest in guests:
-            addr, num_vcpus = mercury._guest_meta.get(
+            addr, num_vcpus, has_balloon, mem_floor = mercury._guest_meta.get(
                 guest.owner_id,
-                (f"{self.machine.nic.addr}:u{guest.owner_id}", 1))
+                (f"{self.machine.nic.addr}:u{guest.owner_id}", 1, False, 0))
             old_domain = getattr(guest.vo, "domain", None)
             domain = vmm.create_domain(guest.name, num_vcpus=num_vcpus,
                                        domain_id=guest.owner_id)
@@ -292,6 +297,25 @@ class RecoveryManager:
             _, net_back = connect_split_net(guest, mercury.kernel, vmm, addr)
             mercury._backends.extend([blk_back, net_back])
             mercury._guests.append(guest)
+            if has_balloon:
+                # the resized footprint survives in the owner column; the
+                # fresh domain's ledger is re-derived from it, NOT from the
+                # original host_guest reservation
+                old_front = getattr(guest, "balloon_front", None)
+                front, bal_back = connect_split_balloon(
+                    guest, mercury.kernel, vmm,
+                    pool=list(old_front.pool) if old_front is not None else None)
+                if old_front is not None:
+                    # region bookkeeping is guest-owned state: it survives
+                    # the microreboot with the kernel, like the page tables
+                    front._rmap = old_front._rmap
+                    front._order = old_front._order
+                    front.victim_unmaps = old_front.victim_unmaps
+                mercury._backends.append(bal_back)
+                mercury._balloons[guest.owner_id] = (front, bal_back)
+                domain.mem_floor = mem_floor
+                domain.mem_pages = len(
+                    self.machine.memory.frames_owned_by(guest.owner_id))
             trace.instant(cpu.cpu_id, "recovery.guest-rehosted",
                           guest=guest.name)
         return len(guests)

@@ -91,8 +91,12 @@ VMM_PAGEINFO_CORRUPT = "vmm.pageinfo-corrupt"
 VMM_CHANNEL_WEDGED = "vmm.event-channel-wedged"
 VMM_BACKEND_DEAD = "vmm.backend-dead"
 VMM_GRANT_POISONED = "vmm.grant-poisoned"
-VMM_REFCOUNT_BALLOON = "vmm.refcount-balloon"
+VMM_REFCOUNT_RUNAWAY = "vmm.refcount-runaway"
+#: compat alias — the site predates the balloon *driver* (memory
+#: elasticity); the old name collided with that vocabulary
+VMM_REFCOUNT_BALLOON = VMM_REFCOUNT_RUNAWAY
 VMM_TRAP_VECTOR_DROPPED = "vmm.trap-vector-dropped"
+VMM_BALLOON_WEDGED = "vmm.balloon-ring-wedged"
 
 #: corruption of the *attached* VMM's own structures — not switch-pipeline
 #: seams.  These are state corruptors injected by :func:`inject_vmm_fault`
@@ -114,12 +118,16 @@ VMM_SITES: tuple[FaultSite, ...] = (
               "a grant entry is poisoned: retargeted at a VMM-owned frame "
               "or given an impossible negative map count",
               during_switch=False),
-    FaultSite(VMM_REFCOUNT_BALLOON,
-              "the switch-gating VO reference count balloons, wedging "
-              "every future mode-switch commit", during_switch=False),
+    FaultSite(VMM_REFCOUNT_RUNAWAY,
+              "the switch-gating VO reference count runs away upward, "
+              "wedging every future mode-switch commit", during_switch=False),
     FaultSite(VMM_TRAP_VECTOR_DROPPED,
               "a registered trap-table vector vanishes, so the VMM "
               "silently drops that interrupt", during_switch=False),
+    FaultSite(VMM_BALLOON_WEDGED,
+              "a balloon backend's ring wedges: the deflate doorbell is "
+              "lost (req_event pushed past any reachable producer index), "
+              "so posted extents are never consumed", during_switch=False),
 )
 
 ALL_SITES: tuple[FaultSite, ...] = SWITCH_SITES + WORKLOAD_SITES + VMM_SITES
@@ -260,8 +268,9 @@ def injected(plan: FaultPlan) -> Iterator[FaultPlan]:
 # victim deterministically (index-mod over the eligible set) so hypothesis
 # can sweep single-field corruptions without randomness.
 
-#: how far the refcount balloon inflates (well past the watchdog threshold)
-REFCOUNT_BALLOON_AMOUNT = 1000
+#: how far the runaway refcount jumps (well past the watchdog threshold)
+REFCOUNT_RUNAWAY_AMOUNT = 1000
+REFCOUNT_BALLOON_AMOUNT = REFCOUNT_RUNAWAY_AMOUNT  # compat alias
 
 
 def _record_injection(site_name: str, cpu_id: Optional[int] = None) -> None:
@@ -327,11 +336,27 @@ def inject_vmm_fault(site_name: str, mercury, variant: int = 0) -> str:
             entry.frame = vmm._reserved_frames[0]
             what = (f"grant ({entry.granting_domain},{entry.ref}) retargeted "
                     f"at a VMM frame")
-    elif site_name == VMM_REFCOUNT_BALLOON:
+    elif site_name == VMM_REFCOUNT_RUNAWAY:
         if mercury.virtual_vo is None:
-            raise VMMError("no virtual VO whose refcount could balloon")
-        mercury.virtual_vo.refcount += REFCOUNT_BALLOON_AMOUNT
-        what = f"virtual VO refcount +{REFCOUNT_BALLOON_AMOUNT}"
+            raise VMMError("no virtual VO whose refcount could run away")
+        mercury.virtual_vo.refcount += REFCOUNT_RUNAWAY_AMOUNT
+        what = f"virtual VO refcount +{REFCOUNT_RUNAWAY_AMOUNT}"
+    elif site_name == VMM_BALLOON_WEDGED:
+        from repro.vmm.backend import BalloonBack
+        balloons = [b for b in getattr(mercury, "_backends", [])
+                    if isinstance(b, BalloonBack)]
+        if not balloons:
+            raise VMMError("no balloon backend whose ring could wedge")
+        back = balloons[variant % len(balloons)]
+        ring = back.ring
+        if (variant // max(1, len(balloons))) % 2:
+            ring.c.rsp_event = ring.c.rsp_prod + 10 * ring.size
+            what = (f"balloon ring completion doorbell lost (rsp_event "
+                    f"pushed to {ring.c.rsp_event})")
+        else:
+            ring.c.req_event = ring.c.req_prod + 10 * ring.size
+            what = (f"balloon ring deflate doorbell lost (req_event "
+                    f"pushed to {ring.c.req_event})")
     elif site_name == VMM_TRAP_VECTOR_DROPPED:
         if mercury.domain is None:
             raise VMMError("no driver domain whose trap table could decay")

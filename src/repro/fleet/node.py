@@ -52,6 +52,7 @@ from repro import faults
 from repro.core.mercury import Mercury, Mode
 from repro.core.recovery import RecoveryManager
 from repro.fleet.balancer import LoadBalancer, MachineState, NoRoutableMachine
+from repro.vmm.elastic import ElasticMemoryController
 from repro.fleet.latency import LatencyHistogram
 from repro.fleet.traffic import OpenLoopTraffic, TrafficSpec
 from repro.hw.machine import Machine
@@ -78,7 +79,7 @@ CHAOS_MAX_SCANS = 12
 #: catalogue sites need hosted-guest state — channels, grants, backends —
 #: that a drained fleet machine does not carry; the chaos *campaign*
 #: covers those, see :mod:`repro.bench.chaoscampaign`)
-CHAOS_SITES = (faults.VMM_PAGEINFO_CORRUPT, faults.VMM_REFCOUNT_BALLOON,
+CHAOS_SITES = (faults.VMM_PAGEINFO_CORRUPT, faults.VMM_REFCOUNT_RUNAWAY,
                faults.VMM_TRAP_VECTOR_DROPPED)
 
 
@@ -92,6 +93,10 @@ class ServiceNode(FleetNode):
 
     def __init__(self, index: int, seed: int, *,
                  mem_kb: int = 4096, image_pages: int = 16,
+                 guest_domains: int = 0, guest_image_pages: int = 8,
+                 guest_mem_pages: int = 48, guest_mem_floor: int = 16,
+                 elastic_strategy: str = "guest-delegated",
+                 elastic_every: int = 8,
                  trace_capacity: int = 4096, **_ignored):
         machine = Machine(MachineConfig(num_cpus=1, mem_kb=mem_kb))
         super().__init__(index, machine, trace_capacity=trace_capacity)
@@ -114,6 +119,26 @@ class ServiceNode(FleetNode):
         self._mig_ack = False
         self._mig_back = False
         self._hosted_pages: dict = {}
+
+        # guest-domain serving (M-U): the node becomes a standing driver
+        # domain hosting ``guest_domains`` ballooned guests; requests are
+        # served from the guests, never from one below its memory floor
+        self.guests: list = []
+        self.elastic: Optional[ElasticMemoryController] = None
+        self.elastic_every = max(1, elastic_every)
+        self.guest_served: dict[int, int] = {}
+        self.floor_skips = 0
+        self._rr = 0
+        if guest_domains:
+            self.mercury.attach(machine.boot_cpu)
+            for g in range(guest_domains):
+                guest = self.mercury.host_guest(
+                    name=f"m{index}g{g}", image_pages=guest_image_pages,
+                    mem_pages=guest_mem_pages, mem_floor=guest_mem_floor)
+                self.guests.append(guest)
+                self.guest_served[guest.owner_id] = 0
+            self.elastic = ElasticMemoryController(
+                self.mercury, elastic_strategy)
 
         self.spawn_traced(self._server_task(), name=f"serve{index}",
                           cpu=machine.boot_cpu, kernel=self.kernel)
@@ -148,12 +173,37 @@ class ServiceNode(FleetNode):
                 req_id, svc = self._queue.popleft()
                 if self.mercury.mode is not Mode.NATIVE:
                     svc += svc // 10  # partial-virtual service tax
-                self.kernel.user_compute_cycles(cpu, svc)
+                server = self._pick_server()
+                server.user_compute_cycles(cpu, svc)
                 self.served += 1
+                if server is not self.kernel:
+                    self.guest_served[server.owner_id] += 1
+                if (self.elastic is not None
+                        and self.served % self.elastic_every == 0):
+                    self.elastic.step(cpu)
                 self.post(0, "rsp", payload=req_id)
                 yield Yield()  # control ops interleave between requests
                 continue
             return
+
+    def _pick_server(self):
+        """Round-robin over the hosted guest domains, skipping any whose
+        reservation sits below its memory floor (a squeezed guest must not
+        take traffic until the controller grants it back).  Falls back to
+        the bare kernel when no guest is routable."""
+        if not self.guests:
+            return self.kernel
+        doms = self.mercury.vmm.domains
+        n = len(self.guests)
+        for off in range(n):
+            guest = self.guests[(self._rr + off) % n]
+            dom = doms.get(guest.owner_id)
+            if dom is None or dom.below_floor:
+                self.floor_skips += 1
+                continue
+            self._rr = (self._rr + off + 1) % n
+            return guest
+        return self.kernel
 
     # -- control ops ------------------------------------------------------
 
@@ -217,7 +267,8 @@ class ServiceNode(FleetNode):
         yield WaitFor(lambda: self._mig_back, desc="mig.back")
         self._charge_stream(pages)
         self.mercury.departial()
-        self.mercury.detach()
+        if not self.guests:  # a standing driver domain stays attached
+            self.mercury.detach()
         self.maintenances += 1
         self.post(0, "ctl.maintained", payload=self.index)
 
@@ -250,7 +301,7 @@ class ServiceNode(FleetNode):
         pages = self._hosted_pages.pop(src, 0)
         self._charge_stream(pages)
         self.post(src, "mig.back", payload=(src, pages))
-        if not self._hosted_pages and \
+        if not self._hosted_pages and not self.guests and \
                 self.mercury.mode is Mode.PARTIAL_VIRTUAL:
             self.mercury.detach()  # nobody hosted: back to full speed
         return
@@ -282,7 +333,7 @@ class ServiceNode(FleetNode):
             record = manager.recover(verdict, cpu=self.machine.boot_cpu)
             mttr = clock.cycles - detected_at
             self.chaos_recoveries += int(bool(record and record.success))
-        if self.mercury.mode is not Mode.NATIVE:
+        if self.mercury.mode is not Mode.NATIVE and not self.guests:
             self.mercury.detach()
         self.post(0, "chaos.recovered",
                   payload=(self.index, site, detected, mttr,
@@ -306,6 +357,18 @@ class ServiceNode(FleetNode):
             "mode": self.mercury.mode.value,
             "mode_switches": len(self.mercury.switch_records),
         })
+        if self.guests:
+            doms = self.mercury.vmm.domains
+            out.update({
+                "guest_domains": len(self.guests),
+                "guest_served": {g.owner_id: self.guest_served[g.owner_id]
+                                 for g in self.guests},
+                "guest_mem_pages": {
+                    g.owner_id: doms[g.owner_id].mem_pages
+                    for g in self.guests if g.owner_id in doms},
+                "floor_skips": self.floor_skips,
+                "elastic": self.elastic.summary(),
+            })
         return out
 
 

@@ -38,6 +38,7 @@ from repro.fleet.latency import LatencyHistogram
 from repro.fleet.node import FrontendNode, ServiceNode
 from repro.fleet.traffic import ARRIVALS
 from repro.sim import DEFAULT_WINDOW_CYCLES, FleetResult, ShardedSim
+from repro.vmm.elastic import STRATEGIES as ELASTIC_STRATEGIES
 
 SCENARIOS = ("liveupdate", "maintenance", "cluster")
 
@@ -47,11 +48,9 @@ def build_fleet_node(index: int, seed: int, **kwargs):
     machine 0 is the frontend, the rest serve."""
     if index == 0:
         return FrontendNode(index, seed, **kwargs)
-    return ServiceNode(index, seed,
-                       mem_kb=kwargs.get("mem_kb", 4096),
-                       image_pages=kwargs.get("image_pages", 16),
-                       trace_capacity=kwargs.get("service_trace_capacity",
-                                                 4096))
+    service = dict(kwargs)
+    service["trace_capacity"] = kwargs.get("service_trace_capacity", 4096)
+    return ServiceNode(index, seed, **service)
 
 
 @dataclass
@@ -77,7 +76,19 @@ class FleetOpResult:
         """The numbers the bench harness and CLI print."""
         served = sum(r.get("served", 0)
                      for i, r in self.fleet.node_results.items() if i != 0)
+        servers = [r for i, r in self.fleet.node_results.items() if i != 0]
+        guest_extra = {}
+        if any(r.get("guest_domains") for r in servers):
+            guest_extra = {
+                "guest_domains": sum(r.get("guest_domains", 0)
+                                     for r in servers),
+                "guest_served": sum(sum(r.get("guest_served", {}).values())
+                                    for r in servers),
+                "floor_skips": sum(r.get("floor_skips", 0)
+                                   for r in servers),
+            }
         return {
+            **guest_extra,
             "scenario": self.scenario,
             "machines": self.machines,
             "workers": self.workers,
@@ -111,10 +122,17 @@ class FleetOrchestrator:
                  chaos_events: int = 2,
                  maintain_count: int = 3,
                  state_pages: int = 64,
+                 guest_domains: int = 0,
+                 guest_mem_pages: int = 48,
+                 guest_mem_floor: int = 16,
+                 elastic_strategy: str = "guest-delegated",
                  window_cycles: int = DEFAULT_WINDOW_CYCLES,
                  transport: Optional[str] = None,
                  log_requests: bool = False,
                  max_windows: int = 100_000):
+        if elastic_strategy not in ELASTIC_STRATEGIES:
+            raise ValueError(f"unknown elastic strategy {elastic_strategy!r};"
+                             f" expected one of {ELASTIC_STRATEGIES}")
         if scenario not in SCENARIOS:
             raise ValueError(f"unknown scenario {scenario!r}; "
                              f"expected one of {SCENARIOS}")
@@ -153,6 +171,10 @@ class FleetOrchestrator:
             "chaos_events": chaos_events,
             "maintain_count": maintain_count,
             "state_pages": state_pages,
+            "guest_domains": guest_domains,
+            "guest_mem_pages": guest_mem_pages,
+            "guest_mem_floor": guest_mem_floor,
+            "elastic_strategy": elastic_strategy,
             "log_requests": log_requests,
         }
 

@@ -33,11 +33,16 @@ from typing import TYPE_CHECKING, Optional
 from repro import trace
 from repro.errors import NetworkError, RingError
 from repro.hw.devices import Packet
-from repro.vmm.backend import BlkBack, BlkRingEntry, NetBack, NetRingEntry
+from repro.hw.paging import Pte
+from repro.params import PAGE_SIZE
+from repro.vmm.backend import (BalloonBack, BalloonRingEntry, BlkBack,
+                               BlkRingEntry, NetBack, NetRingEntry)
 from repro.vmm.rings import IoRing, IoStats
 
 if TYPE_CHECKING:
+    from repro.core.accounting import MmuAccounting
     from repro.guestos.kernel import Kernel
+    from repro.guestos.process import Task
     from repro.hw.cpu import Cpu
     from repro.vmm.hypervisor import Hypervisor
 
@@ -282,6 +287,233 @@ class NetFront:
     rx_kick = rx_poll
 
 
+class BalloonFront:
+    """Memory-balloon frontend: drives the guest's reservation toward the
+    target posted by the host's elastic controller.
+
+    The driver keeps two kinds of elastic memory: a *pool* of cold frames
+    the guest owns but has unmapped (surrendered first — nobody faults on
+    them), and *balloon regions* — populated anonymous mappings whose
+    frames are registered in a reverse map so the host's hypervisor-driven
+    reclaim can name them as victims.  Surrender always rides the grant
+    mechanism: the frontend grants each frame to the driver domain and the
+    backend takes the grant before moving the frame to the host free pool.
+
+    ``back`` is the frontend's read-only view of the backend's target state
+    (the xenstore-watch analogue: both ends of a real balloon share the
+    target through a store key, not the ring)."""
+
+    #: (frame, grant_ref) pairs carried per inflate ring entry (extents)
+    INFLATE_EXTENTS = 16
+
+    def __init__(self, kernel: "Kernel", ring: IoRing, notify_backend,
+                 back: BalloonBack, grant_frame,
+                 mmu_log: Optional["MmuAccounting"] = None,
+                 stats: Optional[IoStats] = None):
+        self.kernel = kernel
+        self.ring = ring
+        self.notify_backend = notify_backend
+        self.back = back
+        #: ``frame -> grant ref`` factory (wired to the VMM's grant table)
+        self.grant_frame = grant_frame
+        self.mmu_log = mmu_log
+        self.stats = stats if stats is not None else IoStats()
+        #: cold frames owned by the guest, unmapped, surrendered first
+        self.pool: list[int] = []
+        #: balloon-region reverse map: frame -> (task, vaddr)
+        self._rmap: dict[int, tuple] = {}
+        #: frames in populate order (lazy-deleted; guest-delegated picks
+        #: from the tail when the pool runs dry)
+        self._order: list[int] = []
+        self.victim_unmaps = 0
+        self._batch_n = 0
+        self._in_upcall = False
+
+    # -- region bookkeeping ----------------------------------------------
+
+    @property
+    def resident_frames(self) -> list[int]:
+        """Frames the balloon driver could surrender (pool + regions), in
+        deterministic order.  The host's hypervisor-driven strategy picks
+        victims from this view — its P2M-table analogue."""
+        return sorted(self.pool) + sorted(self._rmap)
+
+    def fill_pool(self, cpu: "Cpu", n: int) -> list[int]:
+        """Reserve ``n`` cold frames for the guest (balloon-connect top-up:
+        the elastic share of the domain's initial reservation)."""
+        mem = self.kernel.machine.memory
+        frames = mem.alloc_many(self.kernel.owner_id, n)
+        cpu.charge(cpu.cost.cyc_page_alloc * n)
+        self.pool.extend(frames)
+        return frames
+
+    def map_pool_frames(self, cpu: "Cpu", task: "Task", n: int) -> int:
+        """Hand ``n`` pool frames to users: map them into a fresh balloon
+        region of ``task``.  This is the guest allocator consuming returned
+        memory — in native mode every region mapped here marks its root
+        dirty, which is exactly how balloon churn turns into attach-time
+        drift."""
+        n = min(n, len(self.pool))
+        if n == 0:
+            return 0
+        vmem = self.kernel.vmem
+        base = vmem.mmap(cpu, task, n * PAGE_SIZE, name="balloon")
+        frames = [self.pool.pop() for _ in range(n)]
+        cpu.charge(cpu.cost.cyc_mem_touch_per_kb * 4 * n)
+        updates = [(base + i * PAGE_SIZE, Pte(frame=frames[i], writable=True))
+                   for i in range(n)]
+        for f in frames:
+            vmem.claim_frame(f)
+        self.kernel.vo.apply_pte_region(cpu, task.aspace, updates)
+        for i, f in enumerate(frames):
+            self._rmap[f] = (task, base + i * PAGE_SIZE)
+            self._order.append(f)
+        if self.mmu_log is not None:
+            self.mmu_log.on_balloon(task.aspace)
+        return n
+
+    # -- target processing (the xenstore watch) --------------------------
+
+    def upcall(self, cpu: "Cpu") -> None:
+        """Event-channel upcall: reap responses, then chase the target."""
+        if self._in_upcall:
+            return
+        self._in_upcall = True
+        try:
+            self.complete(cpu)
+            self.process_target(cpu)
+        finally:
+            self._in_upcall = False
+
+    def process_target(self, cpu: "Cpu") -> None:
+        target = self.back.target_pages
+        if target is None:
+            return
+        current = self.back.guest_domain.mem_pages
+        if target < current:
+            self.inflate(cpu, current - target,
+                         victims=self.back.victim_frames)
+        elif target > current:
+            self.deflate(cpu, target - current)
+
+    # -- inflate (surrender frames) --------------------------------------
+
+    def inflate(self, cpu: "Cpu", n: int, victims=()) -> int:
+        """Surrender ``n`` frames.  With ``victims`` (hypervisor-driven)
+        the host has already chosen; mapped victims are unmapped first and
+        their next guest touch is a victim-page fault.  Without (Demeter's
+        guest-delegated mode) the guest picks its own coldest memory: the
+        pool first, then region tails — no faults follow."""
+        picked = self._pick_victims(cpu, n, victims)
+        if not picked:
+            return 0
+        refs = [(frame, self.grant_frame(frame)) for frame in picked]
+        last = None
+        for i in range(0, len(refs), self.INFLATE_EXTENTS):
+            last = BalloonRingEntry(
+                op="inflate", frames=tuple(refs[i:i + self.INFLATE_EXTENTS]),
+                tag=self.kernel.owner_id)
+            self.submit(cpu, last)
+        self.flush_submissions(cpu)
+        self._await(cpu, last)
+        return len(picked)
+
+    def _pick_victims(self, cpu: "Cpu", n: int, victims) -> list[int]:
+        picked: list[int] = []
+        if victims:
+            for frame in victims:
+                if len(picked) == n:
+                    break
+                if frame in self._rmap:
+                    task, vaddr = self._rmap.pop(frame)
+                    got = self.kernel.vmem.steal_page(cpu, task, vaddr)
+                    self.victim_unmaps += 1
+                    if self.mmu_log is not None:
+                        self.mmu_log.on_balloon(task.aspace)
+                    if got is not None:
+                        picked.append(got)
+                else:
+                    try:
+                        self.pool.remove(frame)
+                    except ValueError:
+                        continue    # stale victim: already gone
+                    picked.append(frame)
+            return picked
+        while len(picked) < n and self.pool:
+            picked.append(self.pool.pop())
+        while len(picked) < n and self._order:
+            frame = self._order.pop()
+            entry = self._rmap.pop(frame, None)
+            if entry is None:
+                continue            # lazily-deleted (was a victim earlier)
+            task, vaddr = entry
+            got = self.kernel.vmem.steal_page(cpu, task, vaddr)
+            if self.mmu_log is not None:
+                self.mmu_log.on_balloon(task.aspace)
+            if got is not None:
+                picked.append(got)
+        return picked
+
+    # -- deflate (get frames back) ---------------------------------------
+
+    def deflate(self, cpu: "Cpu", n: int) -> int:
+        """Ask the host for ``n`` pages; they land cold in the pool (the
+        guest allocator faults them in via :meth:`map_pool_frames`)."""
+        entry = BalloonRingEntry(op="deflate", count=n,
+                                 tag=self.kernel.owner_id)
+        self.submit(cpu, entry)
+        self.flush_submissions(cpu)
+        self._await(cpu, entry)
+        self.pool.extend(entry.frames)
+        return len(entry.frames)
+
+    # -- ring mechanics (same batched protocol as blkfront) --------------
+
+    def submit(self, cpu: "Cpu", entry: BalloonRingEntry) -> None:
+        if self.ring.free_request_slots() == 0:
+            self.flush_submissions(cpu)
+            self.complete(cpu)
+            if self.ring.free_request_slots() == 0:
+                raise RingError("balloon ring wedged: no free slots and "
+                                "no completions arriving")
+        cpu.charge(cpu.cost.cyc_ring_hop if self._batch_n == 0
+                   else cpu.cost.cyc_ring_entry_batched)
+        self.ring.push_request(entry)
+        self._batch_n += 1
+
+    def flush_submissions(self, cpu: "Cpu") -> None:
+        n, self._batch_n = self._batch_n, 0
+        if n == 0:
+            return
+        self.stats.ring_batches += 1
+        self.stats.ring_batched_entries += n
+        if self.ring.push_requests_and_check_notify():
+            self.stats.notifies_sent += 1
+            if trace._ACTIVE is not None:  # hot path: skip the hook call
+                trace.instant(cpu.cpu_id, "io.doorbell", dev="balloon",
+                              ring="req")
+            self.notify_backend(cpu)
+        else:
+            self.stats.notifies_suppressed += 1
+
+    def complete(self, cpu: "Cpu") -> int:
+        done = 0
+        while True:
+            while self.ring.has_responses():
+                entry = self.ring.pop_response()
+                entry.completed = True
+                done += 1
+            if not self.ring.final_check_for_responses():
+                return done
+
+    def _await(self, cpu: "Cpu", entry: BalloonRingEntry) -> BalloonRingEntry:
+        if not entry.completed:
+            self.complete(cpu)
+        if not entry.completed:
+            raise RingError("balloon backend did not respond")
+        return entry
+
+
 # ---------------------------------------------------------------------------
 # wiring helpers
 # ---------------------------------------------------------------------------
@@ -325,6 +557,51 @@ def connect_split_block(guest: "Kernel", driver: "Kernel",
     front_ch.handler = lambda: front.complete(guest.boot_cpu)
 
     guest.install_block_driver(front)
+    return front, back
+
+
+def connect_split_balloon(guest: "Kernel", driver: "Kernel",
+                          vmm: "Hypervisor",
+                          mmu_log: Optional["MmuAccounting"] = None,
+                          pool: Optional[list[int]] = None
+                          ) -> tuple[BalloonFront, BalloonBack]:
+    """Connect ``guest``'s memory reservation to the host's elastic
+    controller through a balloon ring.
+
+    ``mmu_log`` is the driver-domain's incremental-attach tracker when the
+    balloon belongs to the self-virtualized OS itself (dom0 ballooning);
+    hosted guests pass None.  ``pool`` seeds the frontend's cold-frame pool
+    — the re-host path carries the old frontend's pool across a VMM
+    microreboot with it."""
+    guest_dom = vmm.domains[guest.owner_id]
+    driver_dom = vmm.domains[driver.owner_id]
+    stats = _shared_stats(vmm)
+
+    ring = IoRing(size=32)
+    front_ch = vmm.events.alloc(guest_dom.domain_id)
+    back_ch = vmm.events.alloc(driver_dom.domain_id)
+    vmm.events.connect(front_ch, back_ch)
+
+    back = BalloonBack(
+        vmm, driver_dom, guest_dom, ring,
+        notify_frontend=lambda c: vmm.events.send(c, back_ch),
+        stats=stats)
+    back.bind_channel(back_ch)
+
+    front = BalloonFront(
+        guest, ring,
+        notify_backend=lambda c: vmm.events.send(c, front_ch),
+        back=back,
+        grant_frame=lambda frame: vmm.grants.grant(
+            guest_dom.domain_id, frame, driver_dom.domain_id).ref,
+        mmu_log=mmu_log, stats=stats)
+    if pool:
+        front.pool.extend(pool)
+
+    back_ch.handler = lambda: back.poll(driver.boot_cpu)
+    front_ch.handler = lambda: front.upcall(guest.boot_cpu)
+
+    guest.balloon_front = front
     return front, back
 
 

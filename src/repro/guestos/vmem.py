@@ -201,6 +201,23 @@ class VirtualMemory:
         self.kernel.vo.apply_pte_region(cpu, task.aspace, updates)
         self.release_frames(cpu, freed)
 
+    def steal_page(self, cpu: "Cpu", task: "Task", vaddr: int) -> Optional[int]:
+        """Balloon-driver path: detach one mapped page from ``task`` and
+        return its frame *without* freeing it — the caller (the balloon
+        frontend) surrenders the frame to the host through the grant
+        mechanism, so ownership must still read as this kernel when the
+        backend verifies the grant.  The vaddr stays inside its VMA and
+        faults back in (a fresh demand-zero frame) on the next touch —
+        which is exactly the victim-page fault the hypervisor-driven
+        reclaim ablation measures.  Returns None if nothing was mapped."""
+        pte = task.aspace.get_pte(vaddr)
+        if pte is None or not pte.present:
+            return None
+        frame = pte.frame
+        self.kernel.vo.clear_pte(cpu, task.aspace, vaddr)
+        self._frame_refs.pop(frame, None)
+        return frame
+
     def brk(self, cpu: "Cpu", task: "Task", new_brk: int) -> int:
         """Grow (only) the heap; pages appear on demand."""
         if new_brk <= task.brk:

@@ -61,6 +61,24 @@ class NetRingEntry:
     tag: object = None
 
 
+@dataclass
+class BalloonRingEntry:
+    """One balloon message as carried on the ring.
+
+    ``inflate`` surrenders frames: ``frames`` holds ``(frame, grant_ref)``
+    pairs the guest granted to the driver domain.  ``deflate`` asks for
+    ``count`` pages back; the backend fills ``frames`` with the granted
+    frame numbers in the response."""
+
+    op: str                               # "inflate" | "deflate"
+    frames: tuple = ()
+    count: int = 0
+    tag: object = None                    # granting (guest) domain id
+    ok: bool = True
+    #: set by the frontend once the response has been consumed
+    completed: bool = False
+
+
 class _NapiBackend:
     """Shared poll-loop machinery: channel masking, budgeted drain rounds,
     and the unmask + final-check sleep protocol."""
@@ -246,6 +264,102 @@ class BlkBack(_NapiBackend):
             guard += 1
             if guard > 1_000_000:  # pragma: no cover - defensive
                 raise RingError("blkback wait did not converge")
+
+
+class BalloonBack(_NapiBackend):
+    """Balloon backend: commits reservation changes for one guest domain.
+
+    Inflate requests carry granted frames; the backend takes each grant
+    (paying the map/unmap cost — the ownership check rides the grant
+    machinery), retires the frame's page-info columns and returns it to the
+    host free pool.  Deflate requests allocate frames back to the guest.
+    The reservation ledger on the :class:`~repro.vmm.domain.Domain` is
+    adjusted only here, so ledger and owner column move together."""
+
+    def __init__(self, vmm: "Hypervisor", driver_domain: "Domain",
+                 guest_domain: "Domain", ring: IoRing,
+                 notify_frontend: Callable[["Cpu"], None],
+                 stats: Optional[IoStats] = None):
+        super().__init__(vmm, stats)
+        self.driver_domain = driver_domain
+        self.guest_domain = guest_domain
+        self.ring = ring
+        self.notify_frontend = notify_frontend
+        #: pages moved guest -> host pool / host pool -> guest, lifetime
+        self.inflated = 0
+        self.deflated = 0
+        self.requests_handled = 0
+        #: reservation target + (hypervisor-driven only) explicit victim
+        #: frames, posted by the elastic controller; the frontend reads
+        #: them on the target upcall — the xenstore-watch analogue
+        self.target_pages: Optional[int] = None
+        self.victim_frames: tuple = ()
+
+    def _main_ring(self) -> IoRing:
+        return self.ring
+
+    def set_target(self, cpu: "Cpu", pages: int, victims=()) -> None:
+        """Post a new reservation target (and, for hypervisor-driven
+        reclaim, the exact frames to surrender) and kick the frontend."""
+        self.target_pages = pages
+        self.victim_frames = tuple(victims)
+        self.guest_domain.mem_target = pages
+        cpu.charge(cpu.cost.cyc_event_channel)
+        self.notify_frontend(cpu)
+
+    def _drain(self, cpu: "Cpu") -> int:
+        """One budgeted drain round: commit a batch of reservation changes,
+        push the batch of responses with a single coalesced notify."""
+        budget = cpu.cost.io_poll_budget
+        batch: list[BalloonRingEntry] = []
+        while self.ring.has_requests() and len(batch) < budget:
+            entry: BalloonRingEntry = self.ring.pop_request()
+            cpu.charge(cpu.cost.cyc_ring_hop if not batch
+                       else cpu.cost.cyc_ring_entry_batched)
+            self._handle(cpu, entry)
+            batch.append(entry)
+            self.requests_handled += 1
+        for entry in batch:
+            self.ring.push_response(entry)
+        if batch:
+            self.stats.ring_batches += 1
+            self.stats.ring_batched_entries += len(batch)
+            if self.ring.push_responses_and_check_notify():
+                self.stats.notifies_sent += 1
+                if trace._ACTIVE is not None:  # hot path: skip the hook
+                    trace.instant(cpu.cpu_id, "io.doorbell", dev="balloon",
+                                  ring="resp")
+                self.notify_frontend(cpu)
+            else:
+                self.stats.notifies_suppressed += 1
+        return len(batch)
+
+    def _handle(self, cpu: "Cpu", entry: BalloonRingEntry) -> None:
+        mem = self.vmm.machine.memory
+        dom = self.guest_domain
+        if entry.op == "inflate":
+            for frame, ref in entry.frames:
+                # take the grant (ownership was checked when the guest
+                # created it; the map checks it is really for us) ...
+                self.vmm.grants.map(cpu, self.driver_domain.domain_id,
+                                    dom.domain_id, ref)
+                self.vmm.grants.unmap(cpu, dom.domain_id, ref)
+                self.vmm.grants.revoke(dom.domain_id, ref)
+                # ... then move the frame to the host free pool.  The
+                # page-info release refuses pinned/PT/still-mapped frames,
+                # so a buggy frontend cannot leak dangling references.
+                self.vmm.page_info.release_frame(frame)
+                mem.free(frame)
+            dom.balloon_adjust(-len(entry.frames))
+            self.inflated += len(entry.frames)
+        elif entry.op == "deflate":
+            frames = mem.alloc_many(dom.domain_id, entry.count)
+            cpu.charge(cpu.cost.cyc_page_alloc * entry.count)
+            entry.frames = tuple(frames)
+            dom.balloon_adjust(entry.count)
+            self.deflated += entry.count
+        else:
+            entry.ok = False
 
 
 class NetBack(_NapiBackend):

@@ -62,6 +62,33 @@ class Domain:
         self.alive = True
         #: the guest kernel object (set by the OS layer; opaque to the VMM)
         self.guest = None
+        #: balloon reservation ledger, in pages.  Maintained by the balloon
+        #: backend (inflate decrements, deflate increments); 0 means no
+        #: balloon is connected and the domain's footprint is static.
+        self.mem_pages = 0
+        #: reservation floor: the elastic controller must never reclaim the
+        #: domain below this, and the fleet balancer refuses to route to a
+        #: domain under it
+        self.mem_floor = 0
+        #: last reservation target posted by the elastic controller
+        #: (None = no balloon request outstanding)
+        self.mem_target: Optional[int] = None
+
+    @property
+    def below_floor(self) -> bool:
+        """True when the balloon ledger sits under the domain's floor."""
+        return 0 < self.mem_pages < self.mem_floor
+
+    def balloon_adjust(self, delta: int) -> None:
+        """Move the reservation ledger by ``delta`` pages (the backend's
+        commit point for inflate/deflate).  The ledger can never go
+        negative: the frontend surrenders only frames it owns, so a
+        negative ledger means double-accounting."""
+        if self.mem_pages + delta < 0:
+            raise DomainError(
+                f"domain {self.domain_id} balloon ledger would go negative "
+                f"({self.mem_pages} {delta:+d})")
+        self.mem_pages += delta
 
     def register_aspace(self, aspace: "AddressSpace") -> None:
         if aspace not in self.aspaces:

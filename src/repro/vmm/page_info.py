@@ -397,6 +397,25 @@ class PageInfoTable:
     # incremental vs full)
     # ------------------------------------------------------------------
 
+    def release_frame(self, frame: int) -> None:
+        """A frame is leaving its domain for the host free pool (balloon
+        inflate).  Only a plain, unreferenced page may go: a pinned frame,
+        a page-table frame, or one the columns still see mapped would leave
+        dangling references behind, so surrendering it is a guest error —
+        the balloon driver must unmap first."""
+        if self.pinned_map[frame]:
+            raise PageValidationError(
+                f"balloon surrender of pinned frame {frame}")
+        t = self.type[frame]
+        if t == _L1 or t == _L2:
+            raise PageValidationError(
+                f"balloon surrender of page-table frame {frame}")
+        if self.type_count[frame] > 0 or self.ref_count[frame] > 0:
+            raise PageValidationError(
+                f"balloon surrender of frame {frame} still mapped "
+                f"(uses={self.type_count[frame]}, refs={self.ref_count[frame]})")
+        self.type[frame] = _NONE
+
     def semantically_equal(self, other: "PageInfoTable") -> bool:
         """Compare the *guest-visible* semantics: same frame types and same
         type counts.  (Internal ref counts may differ between strategies —

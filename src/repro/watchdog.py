@@ -8,7 +8,8 @@ that is noise next to the workload.  This module is that observer for the
 Mercury stack: a :class:`Watchdog` owns a catalogue of invariant checks
 over the attached VMM's structures (trap tables, the columnar
 :class:`~repro.vmm.page_info.PageInfoTable`, event-channel masks, grant
-entries, split-driver backends, I/O ring indices, VO reference counts)
+entries, split-driver backends, I/O ring indices, balloon-ring doorbells,
+VO reference counts)
 and produces a **typed verdict** — a :class:`~repro.errors.VmmCorruption`
 naming the failed invariant — instead of letting the corruption fester
 until a guest-visible crash.
@@ -59,7 +60,9 @@ CYC_SCAN = 2_000
 DEFAULT_INTERVAL_CYCLES = 6_000_000
 
 #: a healthy VO refcount is 0 at rest and single digits mid-pump; anything
-#: past this is a stuck balloon that would wedge every future mode switch
+#: past this is a runaway count that would wedge every future mode switch
+#: (the ``vmm.refcount-runaway`` site — "balloon" now means the memory
+#: balloon driver, not this)
 REFCOUNT_SUSPECT_THRESHOLD = 512
 
 
@@ -169,7 +172,8 @@ class Watchdog:
                 or self._check_grants()
                 or self._check_page_info()
                 or self._check_channels()
-                or self._check_backends())
+                or self._check_backends()
+                or self._check_balloons())
 
     def _check_trap_table(self) -> Optional[VmmCorruption]:
         """Every gate the kernel registered must still be reachable via
@@ -281,6 +285,36 @@ class Watchdog:
                 VmmCorruption(
                     "backend-liveness",
                     f"{type(back).__name__} wedged in poll"))
+            if verdict is not None:
+                return verdict
+        return None
+
+    def _check_balloons(self) -> Optional[VmmCorruption]:
+        """Balloon rings must drain promptly — the elasticity controller
+        blocks on them.  A ring whose advertised wakeup index sits past any
+        reachable producer index has lost its doorbell (structural, caught
+        immediately); posted extents that survive consecutive scans
+        unconsumed mean the backend missed its kick (double-observation,
+        since a scan can land between submit and poll)."""
+        from repro.vmm.backend import BalloonBack
+        for idx, back in enumerate(getattr(self.mercury, "_backends", [])):
+            if not isinstance(back, BalloonBack):
+                continue
+            ring = back.ring
+            if (ring.c.req_event > ring.c.req_prod + 1
+                    or ring.c.rsp_event > ring.c.rsp_prod + 1):
+                return VmmCorruption(
+                    "balloon-ring",
+                    f"BalloonBack[{idx}] doorbell lost: event indices "
+                    f"(req {ring.c.req_event}, rsp {ring.c.rsp_event}) past "
+                    f"any reachable producer "
+                    f"(req {ring.c.req_prod}, rsp {ring.c.rsp_prod})")
+            suspect = ring.has_requests() and not back._in_poll
+            verdict = self._suspect(
+                ("balloon", idx), suspect,
+                VmmCorruption(
+                    "balloon-ring",
+                    f"BalloonBack[{idx}] extents posted but never consumed"))
             if verdict is not None:
                 return verdict
         return None

@@ -1,0 +1,98 @@
+"""Guest-domain fleet serving: traffic flows through hosted ballooned
+guests, the picker never routes below a memory floor, the elastic
+controller runs under load, and shard count never changes a byte."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.mercury import Mode
+from repro.fleet.node import ServiceNode
+from repro.fleet.orchestrator import run_fleet
+from repro.hw.machine import reset_machine_ids
+
+
+@pytest.fixture
+def node():
+    reset_machine_ids()
+    return ServiceNode(1, seed=0, guest_domains=2)
+
+
+def test_node_hosts_ballooned_guests(node):
+    assert node.mercury.mode is Mode.PARTIAL_VIRTUAL
+    assert len(node.guests) == 2
+    doms = node.mercury.vmm.domains
+    for guest in node.guests:
+        dom = doms[guest.owner_id]
+        assert dom.mem_pages == 48
+        assert dom.mem_floor == 16
+        assert guest.owner_id in node.mercury.balloons
+    assert node.elastic is not None
+
+
+def test_picker_round_robins_over_guests(node):
+    picks = [node._pick_server() for _ in range(4)]
+    assert picks == [node.guests[0], node.guests[1],
+                     node.guests[0], node.guests[1]]
+    assert node.floor_skips == 0
+
+
+def test_picker_skips_domain_below_floor(node):
+    doms = node.mercury.vmm.domains
+    starved = doms[node.guests[0].owner_id]
+    starved.mem_pages = starved.mem_floor - 1
+    picks = [node._pick_server() for _ in range(4)]
+    assert all(p is node.guests[1] for p in picks)
+    assert node.floor_skips == 4
+    # the controller granting it back re-admits the domain
+    starved.mem_pages = starved.mem_floor
+    assert node.guests[0] in [node._pick_server() for _ in range(2)]
+
+
+def test_picker_falls_back_to_bare_kernel(node):
+    doms = node.mercury.vmm.domains
+    for guest in node.guests:
+        dom = doms[guest.owner_id]
+        dom.mem_pages = dom.mem_floor - 1
+    assert node._pick_server() is node.kernel
+    assert node.floor_skips == 2
+
+
+def test_fleet_serves_from_guests_and_is_worker_invariant():
+    kwargs = dict(machines=4, seed=11, scenario="liveupdate",
+                  requests=64, guest_domains=2)
+    serial = run_fleet(workers=1, **kwargs)
+    fanned = run_fleet(workers=2, **kwargs)
+    assert fanned.canonical_output() == serial.canonical_output()
+
+    summary = serial.summary()
+    assert summary["completed"] == summary["requests"]
+    # every request was served from a guest domain, never below floor
+    assert summary["guest_served"] == summary["completed"]
+    assert summary["floor_skips"] == 0
+    for i, res in serial.fleet.node_results.items():
+        if i == 0:
+            continue
+        # standing driver domains never detach (detach would refuse with
+        # guests hosted); the live update patched under the standing VMM
+        assert res["mode"] == "partial-virtual"
+        assert res["updates_applied"] == 1
+        # elasticity ran under load and respected every floor
+        assert res["elastic"]["rounds"] > 0
+        for pages in res["guest_mem_pages"].values():
+            assert pages >= 16
+
+
+def test_fleet_cluster_chaos_with_guests_recovers():
+    """Chaos recovery on a guest-hosting machine: the microreboot rehosts
+    the ballooned guests and the machine keeps serving."""
+    result = run_fleet(machines=5, workers=1, seed=7, scenario="cluster",
+                      requests=100, guest_domains=2, evacuations=1,
+                      chaos_events=2, spares=1)
+    summary = result.summary()
+    assert summary["completed"] == summary["requests"]
+    chaos = result.frontend["chaos_log"]
+    assert chaos and all(entry[2] for entry in chaos)  # all detected
+    recoveries = sum(r.get("chaos_recoveries", 0)
+                     for i, r in result.fleet.node_results.items() if i)
+    assert recoveries == len(chaos)

@@ -34,7 +34,9 @@ def _attached_stack(ncpus: int = 1) -> Mercury:
     mercury = Mercury(Machine(cfg))
     mercury.create_kernel(image_pages=16)
     mercury.attach()
-    mercury.host_guest(image_pages=8)
+    # balloon=True: the site catalogue includes the wedged balloon ring,
+    # so the representative stack must host an elastic guest
+    mercury.host_guest(image_pages=8, balloon=True)
     return mercury
 
 

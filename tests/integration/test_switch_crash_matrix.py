@@ -243,7 +243,9 @@ LOAD_STATES = ["quiescent", "busy"]
 def _attached_stack(ncpus: int) -> Mercury:
     mercury = _stack(ncpus)
     assert mercury.attach() is not None
-    mercury.host_guest(image_pages=8)
+    # balloon=True keeps the stack representative of the full site
+    # catalogue (the wedged balloon ring needs a balloon backend)
+    mercury.host_guest(image_pages=8, balloon=True)
     return mercury
 
 
